@@ -1,0 +1,152 @@
+//! The benchmark registry: run any suite application by name on a
+//! configuration + dataset (the harness entry point used by the
+//! figure-regeneration benches).
+
+use crate::{Bfs, Fft3d, Histogram, PageRank, Spmm, Spmv, Sssp, SyncMode, Wcc};
+use muchisim_config::SystemConfig;
+use muchisim_core::{SimError, SimResult, Simulation};
+use muchisim_data::Csr;
+use std::fmt;
+
+/// Picks a benchmark root vertex: the highest-degree vertex, which is
+/// guaranteed non-isolated (Graph500 similarly samples roots with edges).
+pub fn high_degree_root(graph: &Csr) -> u32 {
+    (0..graph.num_vertices())
+        .max_by_key(|&v| graph.degree(v))
+        .unwrap_or(0)
+}
+
+/// One of the eight suite applications (paper §III-G).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Breadth-First Search (asynchronous variant).
+    Bfs,
+    /// Single-Source Shortest Path.
+    Sssp,
+    /// PageRank (5 power iterations).
+    PageRank,
+    /// Weakly Connected Components.
+    Wcc,
+    /// Sparse matrix–vector multiply.
+    Spmv,
+    /// Sparse matrix–dense matrix multiply (K = 8).
+    Spmm,
+    /// Histogram of the element array.
+    Histogram,
+    /// 3D FFT (n³ elements over the n×n grid; ignores the graph).
+    Fft,
+}
+
+impl Benchmark {
+    /// All benchmarks, in the paper's order.
+    pub const ALL: [Benchmark; 8] = [
+        Benchmark::Bfs,
+        Benchmark::Sssp,
+        Benchmark::PageRank,
+        Benchmark::Wcc,
+        Benchmark::Spmv,
+        Benchmark::Spmm,
+        Benchmark::Histogram,
+        Benchmark::Fft,
+    ];
+
+    /// The graph-driven benchmarks (everything but FFT).
+    pub const GRAPH_DRIVEN: [Benchmark; 7] = [
+        Benchmark::Bfs,
+        Benchmark::Sssp,
+        Benchmark::PageRank,
+        Benchmark::Wcc,
+        Benchmark::Spmv,
+        Benchmark::Spmm,
+        Benchmark::Histogram,
+    ];
+
+    /// Short uppercase label as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Benchmark::Bfs => "BFS",
+            Benchmark::Sssp => "SSSP",
+            Benchmark::PageRank => "PAGE",
+            Benchmark::Wcc => "WCC",
+            Benchmark::Spmv => "SPMV",
+            Benchmark::Spmm => "SPMM",
+            Benchmark::Histogram => "HISTO",
+            Benchmark::Fft => "FFT",
+        }
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Runs `bench` on `cfg` over `graph` with `threads` host threads,
+/// verifying the functional result.
+///
+/// For [`Benchmark::Fft`] the problem size follows the grid (`n = width`,
+/// which must equal the height) and `graph` is ignored, matching the
+/// paper's weak-scaling treatment of FFT.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine; a failed result check is
+/// reported inside the returned [`SimResult`].
+pub fn run_benchmark(
+    bench: Benchmark,
+    cfg: SystemConfig,
+    graph: &Csr,
+    threads: usize,
+) -> Result<SimResult, SimError> {
+    let tiles = cfg.total_tiles() as u32;
+    match bench {
+        Benchmark::Bfs => {
+            let root = high_degree_root(graph);
+            Simulation::new(cfg, Bfs::new(graph.clone(), tiles, root, SyncMode::Async))?
+                .run_parallel(threads)
+        }
+        Benchmark::Sssp => {
+            let root = high_degree_root(graph);
+            Simulation::new(cfg, Sssp::new(graph.clone(), tiles, root, SyncMode::Async))?
+                .run_parallel(threads)
+        }
+        Benchmark::PageRank => {
+            Simulation::new(cfg, PageRank::new(graph.clone(), tiles, 5))?.run_parallel(threads)
+        }
+        Benchmark::Wcc => {
+            Simulation::new(cfg, Wcc::new(graph.clone(), tiles, SyncMode::Async))?
+                .run_parallel(threads)
+        }
+        Benchmark::Spmv => {
+            Simulation::new(cfg, Spmv::new(graph.clone(), tiles))?.run_parallel(threads)
+        }
+        Benchmark::Spmm => {
+            Simulation::new(cfg, Spmm::new(graph.clone(), tiles, 8))?.run_parallel(threads)
+        }
+        Benchmark::Histogram => {
+            let bins = graph.num_vertices();
+            Simulation::new(cfg, Histogram::new(graph.clone(), tiles, bins))?
+                .run_parallel(threads)
+        }
+        Benchmark::Fft => {
+            let n = cfg.width() as usize;
+            assert_eq!(cfg.width(), cfg.height(), "FFT needs a square grid");
+            Simulation::new(cfg, Fft3d::new(n, 7))?.run_parallel(threads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Benchmark::PageRank.label(), "PAGE");
+        assert_eq!(Benchmark::Histogram.label(), "HISTO");
+        assert_eq!(Benchmark::ALL.len(), 8);
+        assert_eq!(Benchmark::GRAPH_DRIVEN.len(), 7);
+        assert!(!Benchmark::GRAPH_DRIVEN.contains(&Benchmark::Fft));
+    }
+}

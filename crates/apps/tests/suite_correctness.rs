@@ -1,0 +1,205 @@
+//! End-to-end functional correctness of every suite application: each
+//! kernel runs on the cycle-level simulator and must reproduce the
+//! host-computed reference result.
+
+use muchisim_apps::{run_benchmark, Benchmark, Bfs, Sssp, SyncMode, Wcc};
+use muchisim_config::{DramConfig, NocTopology, SystemConfig};
+use muchisim_core::Simulation;
+use muchisim_data::rmat::RmatConfig;
+use muchisim_data::synthetic::{grid_2d, uniform_random};
+use muchisim_data::Csr;
+
+fn cfg_8x8() -> SystemConfig {
+    SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap()
+}
+
+fn rmat8() -> Csr {
+    RmatConfig::scale(8).generate(11)
+}
+
+#[test]
+fn all_graph_benchmarks_pass_their_checks() {
+    let graph = rmat8();
+    for bench in Benchmark::GRAPH_DRIVEN {
+        let result = run_benchmark(bench, cfg_8x8(), &graph, 1)
+            .unwrap_or_else(|e| panic!("{bench} failed to run: {e}"));
+        assert!(
+            result.check_error.is_none(),
+            "{bench} check failed: {:?}",
+            result.check_error
+        );
+        assert!(result.runtime_cycles > 0, "{bench}");
+        assert!(result.counters.pu.tasks_executed > 0, "{bench}");
+    }
+}
+
+#[test]
+fn fft_passes_on_square_grid() {
+    let graph = rmat8(); // ignored by FFT
+    let result = run_benchmark(Benchmark::Fft, cfg_8x8(), &graph, 1).unwrap();
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+    // 3 sweeps x 64 pencil FFTs of length 8: 12 butterflies x 10 flops
+    assert_eq!(result.counters.pu.fp_ops, 3 * 64 * 12 * 10);
+}
+
+#[test]
+fn bfs_barrier_matches_async() {
+    let graph = grid_2d(16, 16);
+    let a = Simulation::new(cfg_8x8(), Bfs::new(graph.clone(), 64, 0, SyncMode::Async))
+        .unwrap()
+        .run()
+        .unwrap();
+    let b = Simulation::new(cfg_8x8(), Bfs::new(graph, 64, 0, SyncMode::Barrier))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(a.check_error.is_none(), "{:?}", a.check_error);
+    assert!(b.check_error.is_none(), "{:?}", b.check_error);
+    // barrier variant runs one kernel per BFS level
+    assert!(b.runtime_cycles > 0);
+}
+
+#[test]
+fn sssp_barrier_variant_converges() {
+    let graph = uniform_random(128, 1024, 5);
+    let app = Sssp::new(graph, 64, 0, SyncMode::Barrier);
+    let result = Simulation::new(cfg_8x8(), app).unwrap().run().unwrap();
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+}
+
+#[test]
+fn wcc_barrier_variant_converges() {
+    let graph = uniform_random(96, 300, 9);
+    let app = Wcc::new(graph, 64, SyncMode::Barrier);
+    let result = Simulation::new(cfg_8x8(), app).unwrap().run().unwrap();
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+}
+
+#[test]
+fn reduction_tagged_bfs_still_correct_and_saves_messages() {
+    let graph = rmat8();
+    let plain = Simulation::new(cfg_8x8(), Bfs::new(graph.clone(), 64, 0, SyncMode::Async))
+        .unwrap()
+        .run()
+        .unwrap();
+    let reduced = Simulation::new(
+        cfg_8x8(),
+        Bfs::new(graph, 64, 0, SyncMode::Async).with_reduction(true),
+    )
+    .unwrap()
+    .run()
+    .unwrap();
+    assert!(plain.check_error.is_none());
+    assert!(reduced.check_error.is_none(), "{:?}", reduced.check_error);
+    assert!(plain.counters.noc.reduce_combines == 0);
+    assert!(
+        reduced.counters.noc.reduce_combines > 0,
+        "reducible messages should combine in flight"
+    );
+}
+
+#[test]
+fn benchmarks_correct_with_dram_cache_mode() {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .sram_kib_per_tile(64)
+        .dram(DramConfig::default())
+        .build()
+        .unwrap();
+    let graph = rmat8();
+    for bench in [Benchmark::Bfs, Benchmark::Spmv, Benchmark::Histogram] {
+        let result = run_benchmark(bench, cfg.clone(), &graph, 1).unwrap();
+        assert!(result.check_error.is_none(), "{bench}: {:?}", result.check_error);
+        assert!(result.counters.mem.cache_misses > 0, "{bench}");
+    }
+}
+
+#[test]
+fn benchmarks_correct_on_torus_with_threads() {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .noc_topology(NocTopology::FoldedTorus)
+        .build()
+        .unwrap();
+    let graph = rmat8();
+    for bench in [Benchmark::Sssp, Benchmark::PageRank, Benchmark::Spmm] {
+        let result = run_benchmark(bench, cfg.clone(), &graph, 4).unwrap();
+        assert!(result.check_error.is_none(), "{bench}: {:?}", result.check_error);
+    }
+}
+
+#[test]
+fn parallel_threads_bit_identical_for_apps() {
+    let graph = rmat8();
+    for bench in [Benchmark::Bfs, Benchmark::Histogram] {
+        let r1 = run_benchmark(bench, cfg_8x8(), &graph, 1).unwrap();
+        let r4 = run_benchmark(bench, cfg_8x8(), &graph, 4).unwrap();
+        assert_eq!(r1.runtime_cycles, r4.runtime_cycles, "{bench}");
+        assert_eq!(r1.counters.noc.msg_hops, r4.counters.noc.msg_hops, "{bench}");
+        assert_eq!(r1.counters.pu.busy_cycles, r4.counters.pu.busy_cycles, "{bench}");
+    }
+}
+
+#[test]
+fn teps_counted_for_graph_kernels() {
+    let graph = rmat8();
+    let result = run_benchmark(Benchmark::Bfs, cfg_8x8(), &graph, 1).unwrap();
+    // async BFS relaxes at least the edges of the reachable component
+    assert!(result.counters.pu.app_ops > 0);
+    assert!(result.counters.app_throughput() > 0.0);
+}
+
+#[test]
+fn pointer_indirection_prefetch_reduces_latency() {
+    // BFS with TSU pointer-indirection prefetch: correctness preserved,
+    // prefetch fills issued, and prefetched lines get demand hits
+    let mut dram = DramConfig::default();
+    dram.prefetch.pointer_indirection = true;
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .sram_kib_per_tile(2)
+        .dram(dram)
+        .build()
+        .unwrap();
+    let graph = rmat8();
+    let result = run_benchmark(Benchmark::Bfs, cfg, &graph, 1).unwrap();
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+    assert!(
+        result.counters.mem.prefetch_fills > 0,
+        "TSU should issue pointer prefetches"
+    );
+    assert!(
+        result.counters.mem.prefetch_hits > 0,
+        "some prefetched lines should be demanded"
+    );
+
+    // without the flag, no prefetch traffic
+    let plain_cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .sram_kib_per_tile(2)
+        .dram(DramConfig::default())
+        .build()
+        .unwrap();
+    let plain = run_benchmark(Benchmark::Bfs, plain_cfg, &graph, 1).unwrap();
+    assert_eq!(plain.counters.mem.prefetch_fills, 0);
+}
+
+#[test]
+fn prefetch_identical_across_threads() {
+    let mut dram = DramConfig::default();
+    dram.prefetch.pointer_indirection = true;
+    let mk = || {
+        SystemConfig::builder()
+            .chiplet_tiles(8, 8)
+            .sram_kib_per_tile(2)
+            .dram(dram.clone())
+            .build()
+            .unwrap()
+    };
+    let graph = rmat8();
+    let r1 = run_benchmark(Benchmark::Spmv, mk(), &graph, 1).unwrap();
+    let r4 = run_benchmark(Benchmark::Spmv, mk(), &graph, 4).unwrap();
+    assert!(r1.check_error.is_none());
+    assert_eq!(r1.runtime_cycles, r4.runtime_cycles);
+    assert_eq!(r1.counters.mem.prefetch_fills, r4.counters.mem.prefetch_fills);
+}

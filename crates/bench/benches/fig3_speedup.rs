@@ -1,0 +1,86 @@
+//! Fig. 3 — ratio between simulator and DUT runtime for two DUT sizes
+//! evaluated with an increasing number of host threads.
+//!
+//! Paper setup: 32×32 and 64×64-tile monolithic DUTs on a 64-bit 2D
+//! torus, RMAT-22, 2–32 host threads; the ratio (DUT time = aggregated
+//! runtime of all tiles) falls from a geomean of 614 to 43, with
+//! near-linear speedup until each thread holds only a couple of tile
+//! columns. Scaled here to 16×16 / 32×32 DUTs on a smaller RMAT.
+
+use muchisim_apps::{run_benchmark, Benchmark};
+use muchisim_config::{NocTopology, SystemConfig};
+
+const APPS: [Benchmark; 7] = [
+    Benchmark::Sssp,
+    Benchmark::PageRank,
+    Benchmark::Bfs,
+    Benchmark::Spmv,
+    Benchmark::Spmm,
+    Benchmark::Histogram,
+    Benchmark::Fft,
+];
+
+fn dut(side: u32) -> SystemConfig {
+    SystemConfig::builder()
+        .chiplet_tiles(side, side)
+        .noc_topology(NocTopology::FoldedTorus)
+        .noc_width_bits(64)
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let threads_sweep: Vec<usize> = [1usize, 2, 4, 8, 16]
+        .into_iter()
+        .filter(|&t| t <= std::thread::available_parallelism().map_or(4, |p| p.get()))
+        .collect();
+    let graph = muchisim_bench::bench_graph(muchisim_bench::BENCH_RMAT_SCALE + 2);
+    muchisim_bench::rule("Fig. 3: sim time / DUT time (aggregated over tiles)");
+    println!(
+        "{:<6} {:<8} {}",
+        "DUT",
+        "app",
+        threads_sweep
+            .iter()
+            .map(|t| format!("{t:>10}T"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for side in [16u32, 32] {
+        let tiles = (side * side) as f64;
+        let mut per_thread_ratios: Vec<Vec<f64>> =
+            threads_sweep.iter().map(|_| Vec::new()).collect();
+        for app in APPS {
+            let mut row = format!("{:<6} {:<8}", format!("{side}x{side}"), app.label());
+            for (ti, &threads) in threads_sweep.iter().enumerate() {
+                let result = run_benchmark(app, dut(side), &graph, threads).unwrap();
+                assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+                let dut_time = result.runtime.as_secs() * tiles;
+                let ratio = result.host_seconds / dut_time;
+                per_thread_ratios[ti].push(ratio);
+                row.push_str(&format!(" {ratio:>10.1}"));
+            }
+            println!("{row}");
+        }
+        let mut geo_row = format!("{:<6} {:<8}", format!("{side}x{side}"), "Geo");
+        let mut geos = Vec::new();
+        for ratios in &per_thread_ratios {
+            let g = muchisim_bench::geomean(ratios);
+            geos.push(g);
+            geo_row.push_str(&format!(" {g:>10.1}"));
+        }
+        println!("{geo_row}");
+        // shape check: more threads must not be slower overall (allowing
+        // plateau once threads ~ columns / barrier overhead dominates)
+        let first = geos.first().copied().unwrap_or(1.0);
+        let best = geos.iter().copied().fold(f64::INFINITY, f64::min);
+        println!(
+            "  {side}x{side}: geomean ratio {first:.1} (1T) -> best {best:.1} ({:.1}x speedup; paper: 614 -> 43, 12x)",
+            first / best
+        );
+        assert!(
+            best < first,
+            "parallelization should speed up the {side}x{side} simulation"
+        );
+    }
+}

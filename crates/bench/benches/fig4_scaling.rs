@@ -1,0 +1,61 @@
+//! Fig. 4 — simulation time and throughput for scaling DUT sizes.
+//!
+//! Paper setup: DUT sizes from 2^10 to 2^20 tiles processing RMAT-26,
+//! reporting host simulation time, DUT operations per host second, and
+//! NoC message flits routed per host second, for SSSP, PAGE, BFS, WCC,
+//! SPMV and HISTO (FFT is weak-scaled separately). Scaled here to
+//! 2^4 … 2^10 tiles on a smaller RMAT; the shape to reproduce is flits/s
+//! in the millions–tens-of-millions and Ops/s well above flits/s, with
+//! sim time growing with DUT size once the thread count saturates.
+
+use muchisim_apps::{run_benchmark, Benchmark};
+use muchisim_config::{NocTopology, SystemConfig};
+
+const APPS: [Benchmark; 6] = [
+    Benchmark::Sssp,
+    Benchmark::PageRank,
+    Benchmark::Bfs,
+    Benchmark::Wcc,
+    Benchmark::Spmv,
+    Benchmark::Histogram,
+];
+
+fn main() {
+    let host = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let graph = muchisim_bench::bench_graph(muchisim_bench::BENCH_RMAT_SCALE + 1);
+    muchisim_bench::rule("Fig. 4: sim time / Ops per s / flits per s vs DUT size");
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>12} {:>12}",
+        "app", "tiles", "threads", "sim_s", "ops_per_s", "flits_per_s"
+    );
+    for app in APPS {
+        let mut last_flits_rate = 0.0;
+        for side in [4u32, 8, 16, 32] {
+            let tiles = side * side;
+            // the paper scales host threads with DUT size (16..128); we
+            // cap at the columns and the host's parallelism
+            let threads = (side as usize).min(host).min(16);
+            let cfg = SystemConfig::builder()
+                .chiplet_tiles(side, side)
+                .noc_topology(NocTopology::FoldedTorus)
+                .build()
+                .unwrap();
+            let result = run_benchmark(app, cfg, &graph, threads).unwrap();
+            assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+            let ops_rate = result.host_ops_per_sec();
+            let flits_rate = result.host_flits_per_sec();
+            println!(
+                "{:<8} {:>8} {:>10} {:>12.3} {:>12.3e} {:>12.3e}",
+                app.label(),
+                tiles,
+                threads,
+                result.host_seconds,
+                ops_rate,
+                flits_rate
+            );
+            last_flits_rate = flits_rate;
+        }
+        assert!(last_flits_rate > 0.0, "{app} routed no flits");
+    }
+    println!("(paper: flits/s from a few million (PAGE) to 40M (SSSP); Ops/s up to a few billion)");
+}

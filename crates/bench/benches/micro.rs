@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks on the simulator's hot paths: router
+//! stepping, cache-model accesses, dataset generation, and the FFT
+//! pencil kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use muchisim_config::SystemConfig;
+use muchisim_data::rmat::RmatConfig;
+use muchisim_data::tensor::{fft_in_place, Complex};
+use muchisim_mem::{AccessKind, ChannelState, TileMemory};
+use muchisim_noc::{DrainSink, Network, NetworkParams, Packet, Payload};
+
+fn bench_router_cycles(c: &mut Criterion) {
+    let cfg = SystemConfig::builder().chiplet_tiles(16, 16).build().unwrap();
+    c.bench_function("noc_drain_256_packets_16x16", |b| {
+        b.iter_batched(
+            || {
+                let mut net = Network::new(NetworkParams::from_system(&cfg), 1);
+                for src in 0..256u32 {
+                    let dst = (src * 37 + 11) % 256;
+                    net.inject(src, Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2))
+                        .unwrap();
+                }
+                net
+            },
+            |mut net| {
+                let mut sink = DrainSink::default();
+                let mut cycle = 0;
+                while !net.is_empty() {
+                    net.step(cycle, &mut sink);
+                    cycle += 1;
+                }
+                sink.drained.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    let cfg = SystemConfig::builder()
+        .sram_kib_per_tile(64)
+        .dram(muchisim_config::DramConfig::default())
+        .build()
+        .unwrap();
+    c.bench_function("cache_mixed_access_stream", |b| {
+        b.iter_batched(
+            || (TileMemory::from_system(&cfg), ChannelState::default()),
+            |(mut mem, mut ch)| {
+                let mut total = 0u64;
+                for i in 0..1000u64 {
+                    total += mem.access(
+                        (i * 97) % 32768,
+                        AccessKind::Read,
+                        i,
+                        Some(&mut ch),
+                    );
+                }
+                total
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_rmat(c: &mut Criterion) {
+    c.bench_function("rmat_scale10_generate", |b| {
+        b.iter(|| RmatConfig::scale(10).generate(criterion::black_box(7)))
+    });
+}
+
+fn bench_fft_pencil(c: &mut Criterion) {
+    c.bench_function("fft_pencil_1024", |b| {
+        b.iter_batched(
+            || {
+                (0..1024)
+                    .map(|i| Complex::new((i as f64).sin(), 0.0))
+                    .collect::<Vec<_>>()
+            },
+            |mut pencil| fft_in_place(&mut pencil),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_router_cycles, bench_cache_model, bench_rmat, bench_fft_pencil
+}
+criterion_main!(benches);

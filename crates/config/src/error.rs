@@ -1,0 +1,112 @@
+//! Configuration validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while validating a [`SystemConfig`].
+///
+/// [`SystemConfig`]: crate::SystemConfig
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A hierarchy level has a zero-sized extent.
+    EmptyExtent {
+        /// The offending level ("chiplet", "package", "node", "cluster").
+        level: &'static str,
+    },
+    /// The NoC width is zero or not a multiple of 8 bits.
+    InvalidNocWidth {
+        /// The rejected width in bits.
+        bits: u32,
+    },
+    /// A tile must contain at least one PU.
+    NoPus,
+    /// SRAM per tile must be non-zero.
+    NoSram,
+    /// The Ruche factor must be at least 2 and divide the chiplet dimension.
+    InvalidRucheFactor {
+        /// The rejected factor.
+        factor: u32,
+    },
+    /// Queue capacities must be non-zero.
+    EmptyQueue {
+        /// Which queue ("input", "channel").
+        queue: &'static str,
+    },
+    /// Operating frequency exceeds the peak design frequency.
+    OperatingAbovePeak {
+        /// Which clock domain ("pu", "noc").
+        domain: &'static str,
+    },
+    /// No physical NoC configured.
+    NoNocs,
+    /// The DRAM configuration requests zero channels.
+    NoDramChannels,
+    /// The inter-node link multiplexing factor must be non-zero.
+    ZeroLinkMux,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyExtent { level } => {
+                write!(f, "hierarchy level `{level}` has a zero-sized extent")
+            }
+            ConfigError::InvalidNocWidth { bits } => {
+                write!(f, "NoC width of {bits} bits is not a positive multiple of 8")
+            }
+            ConfigError::NoPus => write!(f, "a tile must contain at least one PU"),
+            ConfigError::NoSram => write!(f, "SRAM per tile must be non-zero"),
+            ConfigError::InvalidRucheFactor { factor } => {
+                write!(f, "ruche factor {factor} must be >= 2 and divide the chiplet width")
+            }
+            ConfigError::EmptyQueue { queue } => {
+                write!(f, "{queue} queue capacity must be non-zero")
+            }
+            ConfigError::OperatingAbovePeak { domain } => {
+                write!(f, "{domain} operating frequency exceeds its peak design frequency")
+            }
+            ConfigError::NoNocs => write!(f, "at least one physical NoC is required"),
+            ConfigError::NoDramChannels => {
+                write!(f, "DRAM configuration requests zero channels")
+            }
+            ConfigError::ZeroLinkMux => {
+                write!(f, "inter-node link multiplexing factor must be non-zero")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let msgs = [
+            ConfigError::EmptyExtent { level: "chiplet" }.to_string(),
+            ConfigError::InvalidNocWidth { bits: 3 }.to_string(),
+            ConfigError::NoPus.to_string(),
+            ConfigError::NoSram.to_string(),
+            ConfigError::InvalidRucheFactor { factor: 1 }.to_string(),
+            ConfigError::EmptyQueue { queue: "input" }.to_string(),
+            ConfigError::OperatingAbovePeak { domain: "pu" }.to_string(),
+            ConfigError::NoNocs.to_string(),
+            ConfigError::NoDramChannels.to_string(),
+            ConfigError::ZeroLinkMux.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'), "{m}");
+            let acronym = m.starts_with("SRAM") || m.starts_with("NoC") || m.starts_with("DRAM");
+            assert!(m.chars().next().unwrap().is_lowercase() || acronym, "{m}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ConfigError>();
+    }
+}

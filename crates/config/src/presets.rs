@@ -1,0 +1,107 @@
+//! Named configuration presets: the original repo's `configs/` folder.
+//!
+//! Each preset is a starting point the builder can refine; JSON
+//! round-tripping ([`SystemConfig`] is fully serde-enabled) covers the
+//! file-based workflow.
+
+use crate::system::{DramConfig, NocTopology, SystemConfig, SystemConfigBuilder};
+
+/// A Cerebras-WSE-like wafer: one monolithic die of `side × side` tiles,
+/// 48 KiB of SRAM per tile (scratchpad), a 32-bit 2D mesh (paper §IV-A).
+pub fn wse_like(side: u32) -> SystemConfigBuilder {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(side, side)
+        .sram_kib_per_tile(48)
+        .noc_width_bits(32)
+        .noc_topology(NocTopology::Mesh)
+        .scratchpad();
+    b
+}
+
+/// A Dalorex-style data-local design: distributed SRAM as main memory,
+/// 64-bit torus, task-based parallelization-friendly queue sizes.
+pub fn dalorex_like(side: u32) -> SystemConfigBuilder {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(side, side)
+        .sram_kib_per_tile(256)
+        .noc_width_bits(64)
+        .noc_topology(NocTopology::FoldedTorus)
+        .queues(64, 32)
+        .scratchpad();
+    b
+}
+
+/// The paper's Fig. 5 baseline: 32×32-tile chiplets, each with one
+/// 8-channel HBM device (128 tiles/channel), 64 KiB PLM used as a cache.
+pub fn hbm_chiplet_baseline() -> SystemConfigBuilder {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(32, 32)
+        .sram_kib_per_tile(64)
+        .noc_topology(NocTopology::FoldedTorus)
+        .dram(DramConfig::default());
+    b
+}
+
+/// A four-chiplet MCM package (2×2 chiplets of `side × side` tiles) on an
+/// organic substrate — the multi-chip integration granularity study.
+pub fn mcm_quad(side: u32) -> SystemConfigBuilder {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(side, side)
+        .package_chiplets(2, 2)
+        .noc_topology(NocTopology::Mesh);
+    b
+}
+
+/// Serializes a configuration to the JSON config-file format.
+pub fn to_json(cfg: &SystemConfig) -> String {
+    serde_json::to_string_pretty(cfg).expect("SystemConfig serializes")
+}
+
+/// Loads a configuration from JSON and validates it.
+///
+/// # Errors
+///
+/// Returns a message for malformed JSON or invalid configurations.
+pub fn from_json(json: &str) -> Result<SystemConfig, String> {
+    let cfg: SystemConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_build_valid_configs() {
+        assert_eq!(wse_like(32).build().unwrap().total_tiles(), 1024);
+        assert!(dalorex_like(16).build().is_ok());
+        let hbm = hbm_chiplet_baseline().build().unwrap();
+        assert_eq!(hbm.tiles_per_dram_channel(), Some(128));
+        let quad = mcm_quad(16).build().unwrap();
+        assert_eq!(quad.hierarchy.total_chiplets(), 4);
+    }
+
+    #[test]
+    fn presets_are_refinable() {
+        let cfg = wse_like(16).pus_per_tile(2).build().unwrap();
+        assert_eq!(cfg.pus_per_tile, 2);
+        assert_eq!(cfg.sram_kib_per_tile, 48);
+    }
+
+    #[test]
+    fn json_config_file_round_trip() {
+        let cfg = hbm_chiplet_baseline().build().unwrap();
+        let json = to_json(&cfg);
+        let back = from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn json_rejects_invalid_config() {
+        let mut cfg = wse_like(8).build().unwrap();
+        cfg.noc.width_bits = 13; // invalid
+        assert!(from_json(&to_json(&cfg)).is_err());
+        assert!(from_json("not json").is_err());
+    }
+}

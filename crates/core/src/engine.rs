@@ -1,0 +1,568 @@
+//! Simulation setup and the sequential driver.
+
+use crate::app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
+use crate::counters::SimCounters;
+use crate::error::SimError;
+use crate::frames::{Frame, FrameLog};
+use crate::slice::ColSlice;
+use crate::tile::{SimResult, TileEngine};
+use muchisim_config::{
+    MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity,
+};
+use muchisim_mem::{ChannelMap, ChannelState};
+use muchisim_noc::{split_columns, EjectSink, Network, NetworkParams, Packet, Payload, Shard, SharedNet};
+use std::time::Instant;
+
+/// Maximum task types supported by the engine.
+const MAX_TASK_TYPES: u8 = 32;
+
+/// A configured simulation, ready to run.
+///
+/// Build with [`Simulation::new`], then call [`Simulation::run`]
+/// (sequential) or [`Simulation::run_parallel`].
+#[derive(Debug)]
+pub struct Simulation<A: Application> {
+    cfg: SystemConfig,
+    app: A,
+    cycle_limit: u64,
+}
+
+impl<A: Application> Simulation<A> {
+    /// Validates the configuration and application and builds a simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for invalid configurations,
+    /// [`SimError::TooManyTaskTypes`], or [`SimError::CyclicTaskGraph`] if
+    /// the application's task-invocation graph has a loop (forbidden by
+    /// the paper's deadlock-avoidance rule, §III-B).
+    pub fn new(cfg: SystemConfig, app: A) -> Result<Self, SimError> {
+        cfg.validate()?;
+        let n = app.task_types();
+        if n > MAX_TASK_TYPES {
+            return Err(SimError::TooManyTaskTypes { declared: n });
+        }
+        if has_cycle(n, &app.task_graph()) {
+            return Err(SimError::CyclicTaskGraph);
+        }
+        Ok(Simulation {
+            cfg,
+            app,
+            cycle_limit: u64::MAX / 4,
+        })
+    }
+
+    /// Sets an upper bound on simulated NoC cycles per kernel.
+    pub fn with_cycle_limit(mut self, limit: u64) -> Self {
+        self.cycle_limit = limit;
+        self
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Runs single-threaded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CycleLimitExceeded`] if a kernel fails to
+    /// drain within the cycle limit.
+    pub fn run(self) -> Result<SimResult, SimError> {
+        self.run_parallel(1)
+    }
+
+    /// Runs with up to `threads` host threads, one column slice each
+    /// (paper §III-C). Results are bit-identical to [`Simulation::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::run`].
+    pub fn run_parallel(self, threads: usize) -> Result<SimResult, SimError> {
+        let setup = SimSetup::build(&self.cfg, &self.app, threads);
+        crate::parallel::drive(&self.cfg, &self.app, setup, self.cycle_limit)
+    }
+}
+
+/// Everything constructed before the cycle loop starts.
+pub(crate) struct SimSetup<A: Application> {
+    pub workers: Vec<Worker<A>>,
+    pub networks: Vec<Network>,
+}
+
+impl<A: Application> SimSetup<A> {
+    pub(crate) fn build(cfg: &SystemConfig, app: &A, threads: usize) -> Self {
+        let channel_map = ChannelMap::from_system(cfg);
+        let align = channel_map.map_or(1, |m| m.band_cols());
+        let boundaries = split_columns(cfg.width(), threads, align);
+        let planes = cfg.noc.num_physical.max(1);
+        let networks: Vec<Network> = (0..planes)
+            .map(|_| Network::with_boundaries(NetworkParams::from_system(cfg), &boundaries))
+            .collect();
+        let mut sw = SoftwareConfig::default();
+        app.configure(&mut sw);
+        let grid = GridInfo {
+            width: cfg.width(),
+            height: cfg.height(),
+            total_tiles: cfg.width() * cfg.height(),
+            pus_per_tile: cfg.pus_per_tile,
+        };
+        let mut workers = Vec::with_capacity(boundaries.len());
+        let mut start = 0;
+        for &end in &boundaries {
+            let slice = ColSlice::new(start..end, cfg.width(), cfg.height());
+            workers.push(Worker::new(cfg, app, &sw, slice, grid, channel_map));
+            start = end;
+        }
+        SimSetup { workers, networks }
+    }
+}
+
+/// One host worker: a column slice of tiles plus its DRAM channels.
+pub(crate) struct Worker<A: Application> {
+    pub slice: ColSlice,
+    pub tiles: Vec<TileEngine>,
+    pub states: Vec<A::Tile>,
+    channels: Vec<ChannelState>,
+    channel_map: Option<ChannelMap>,
+    grid: GridInfo,
+    kernel: u32,
+    cq_capacity: u32,
+    pu_period_ps: f64,
+    noc_period_ps: f64,
+    flit_bytes: u32,
+    planes: usize,
+    verbosity: Verbosity,
+    frame_interval: u64,
+    pointer_prefetch: bool,
+    /// Pending work: IQ + CQ messages + pending init tasks.
+    pub msg_count: i64,
+    /// Latest PU completion time seen, in picoseconds.
+    pub max_pu_ps: f64,
+    /// Completed statistics frames.
+    pub frames: FrameLog,
+    frame_tasks: u64,
+    frame_injected: u64,
+    frame_ejected: u64,
+    busy_grid: Vec<u32>,
+    sends: Vec<OutMsg>,
+}
+
+impl<A: Application> Worker<A> {
+    fn new(
+        cfg: &SystemConfig,
+        app: &A,
+        sw: &SoftwareConfig,
+        slice: ColSlice,
+        grid: GridInfo,
+        channel_map: Option<ChannelMap>,
+    ) -> Self {
+        let ntasks = app.task_types();
+        let mut iq_caps = vec![cfg.queues.iq_capacity; ntasks as usize];
+        for &(t, c) in &sw.iq_capacity_override {
+            if (t as usize) < iq_caps.len() {
+                iq_caps[t as usize] = c;
+            }
+        }
+        let policy = if sw.priority_tasks.is_empty() {
+            cfg.scheduling.clone()
+        } else {
+            SchedulingPolicy::Priority(sw.priority_tasks.clone())
+        };
+        let tiles: Vec<TileEngine> = slice
+            .iter_tiles()
+            .map(|_| TileEngine::new(cfg, ntasks, iq_caps.clone(), policy.clone()))
+            .collect();
+        let states: Vec<A::Tile> = slice.iter_tiles().map(|t| app.make_tile(t, &grid)).collect();
+        let channels = match channel_map {
+            Some(m) => vec![ChannelState::default(); m.total_channels(cfg.height()) as usize],
+            None => Vec::new(),
+        };
+        let pointer_prefetch = matches!(
+            &cfg.memory,
+            MemoryConfig::Dram(d) if d.prefetch.pointer_indirection
+        );
+        Worker {
+            slice,
+            tiles,
+            states,
+            channels,
+            channel_map,
+            grid,
+            kernel: 0,
+            cq_capacity: cfg.queues.cq_capacity,
+            pu_period_ps: cfg.pu_clock.operating.period_ps(),
+            noc_period_ps: cfg.noc_clock.operating.period_ps(),
+            flit_bytes: cfg.flit_bytes(),
+            planes: cfg.noc.num_physical.max(1) as usize,
+            verbosity: cfg.verbosity,
+            frame_interval: cfg.frame_interval_cycles.max(1),
+            pointer_prefetch,
+            msg_count: 0,
+            max_pu_ps: 0.0,
+            frames: FrameLog::new(cfg.frame_interval_cycles.max(1)),
+            frame_tasks: 0,
+            frame_injected: 0,
+            frame_ejected: 0,
+            busy_grid: vec![0; (cfg.width() * cfg.height()) as usize],
+            sends: Vec::new(),
+        }
+    }
+
+    /// Marks every tile's init task pending for `kernel`.
+    pub fn start_kernel(&mut self, kernel: u32) {
+        self.kernel = kernel;
+        for t in &mut self.tiles {
+            t.init_pending = true;
+        }
+        self.msg_count += self.tiles.len() as i64;
+    }
+
+    /// Dispatches ready tasks on every PU whose clock has been caught up
+    /// by the network time (paper §III-C synchronization rule).
+    pub fn pu_phase(&mut self, app: &A, cycle: u64) {
+        let now_ps = cycle as f64 * self.noc_period_ps;
+        let now_pu = (now_ps / self.pu_period_ps).floor() as u64;
+        for local in 0..self.tiles.len() {
+            if !self.tiles[local].has_work() {
+                continue;
+            }
+            let tile_g = self.slice.global(local);
+            // Channel queues live in the PLM and spill beyond their
+            // configured capacity (paper §III-A "Queues"); over-capacity
+            // CQs are counted as send-side stall pressure but do not block
+            // dispatch, which keeps acyclic task chains deadlock-free.
+            if self.tiles[local].cq_over(self.cq_capacity) {
+                self.tiles[local].counters.cq_stall_cycles += 1;
+            }
+            loop {
+                let t = &mut self.tiles[local];
+                let pu = t.earliest_pu();
+                if t.pu_clock[pu] as f64 * self.pu_period_ps > now_ps {
+                    break;
+                }
+                let start = t.pu_clock[pu].max(now_pu);
+                let (is_init, task, payload) = if t.init_pending {
+                    t.init_pending = false;
+                    self.msg_count -= 1;
+                    (true, 0u8, Payload::empty())
+                } else if let Some(task) = t.sched.pick(&t.iqs) {
+                    let payload = t.iqs[task as usize]
+                        .pop_front()
+                        .expect("scheduler picked a non-empty queue");
+                    t.iq_msgs -= 1;
+                    self.msg_count -= 1;
+                    (false, task, payload)
+                } else {
+                    break;
+                };
+                // dequeue cost for message-triggered tasks
+                let qlat = if is_init {
+                    0
+                } else {
+                    t.mem.queue_read(payload.len().max(1) as u64)
+                };
+                let channel_idx = self.channel_map.map(|m| {
+                    let (x, y) = (tile_g % self.grid.width, tile_g / self.grid.width);
+                    m.channel_of(x, y) as usize
+                });
+                // TSU pointer-indirection prefetch: warm the line the
+                // *next* queued task of this type will touch, overlapping
+                // it with the current task's execution (paper §III-A).
+                if self.pointer_prefetch && !is_init {
+                    if let Some(next) = t.iqs[task as usize].front() {
+                        if let Some(addr) =
+                            app.prefetch_addr(task, next.as_slice(), tile_g, &self.grid)
+                        {
+                            let ch = channel_idx.map(|i| &mut self.channels[i]);
+                            t.mem.prefetch(addr, start, ch);
+                        }
+                    }
+                }
+                let channel = channel_idx.map(|i| &mut self.channels[i]);
+                let mut ctx = TaskCtx::new(
+                    tile_g,
+                    self.kernel,
+                    self.grid,
+                    start + qlat,
+                    &mut t.mem,
+                    channel,
+                    &mut t.counters,
+                    &mut self.sends,
+                );
+                if is_init {
+                    app.init(&mut self.states[local], &mut ctx);
+                } else {
+                    app.handle(&mut self.states[local], task, payload.as_slice(), &mut ctx);
+                }
+                // one TSU dispatch cycle + dequeue + modeled task latency
+                let duration = 1 + qlat + ctx.elapsed_cycles();
+                let end = start + duration;
+                t.pu_clock[pu] = end;
+                t.counters.tasks_executed += 1;
+                t.counters.busy_cycles += duration;
+                t.busy_frame = t.busy_frame.saturating_add(duration.min(u32::MAX as u64) as u32);
+                self.frame_tasks += 1;
+                let end_ps = end as f64 * self.pu_period_ps;
+                if end_ps > self.max_pu_ps {
+                    self.max_pu_ps = end_ps;
+                }
+                // drain produced messages into IQs (local) / CQs (remote)
+                for msg in self.sends.drain(..) {
+                    let t = &mut self.tiles[local];
+                    if msg.dst == tile_g {
+                        t.iqs[msg.task as usize].push_back(msg.payload);
+                        t.iq_msgs += 1;
+                        self.msg_count += 1;
+                    } else {
+                        t.cqs[msg.task as usize].push_back(msg);
+                        t.cq_msgs += 1;
+                        self.msg_count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains ready channel-queue heads into the NoC planes.
+    pub fn inject_phase(
+        &mut self,
+        shards: &mut [&mut Shard],
+        shareds: &[&SharedNet],
+        cycle: u64,
+    ) {
+        for local in 0..self.tiles.len() {
+            if self.tiles[local].cq_msgs == 0 {
+                continue;
+            }
+            let tile_g = self.slice.global(local);
+            let t = &mut self.tiles[local];
+            for task in 0..t.cqs.len() {
+                while let Some(head) = t.cqs[task].front() {
+                    let ready_ps = head.at_pu_cycle as f64 * self.pu_period_ps;
+                    let ready_noc = (ready_ps / self.noc_period_ps).ceil() as u64;
+                    if ready_noc > cycle {
+                        break;
+                    }
+                    let plane = task % self.planes;
+                    let msg = t.cqs[task].front().expect("checked head");
+                    let flits = 1 + msg.payload.size_bytes().div_ceil(self.flit_bytes);
+                    let mut pkt = Packet::unicast(
+                        tile_g,
+                        msg.dst,
+                        task as u8,
+                        msg.payload.clone(),
+                        flits as u16,
+                    )
+                    .ready_at(cycle);
+                    if let Some(op) = msg.reduce {
+                        pkt = pkt.with_reduce(op);
+                    }
+                    match shards[plane].inject(shareds[plane], tile_g, pkt) {
+                        Ok(()) => {
+                            t.cqs[task].pop_front();
+                            t.cq_msgs -= 1;
+                            self.msg_count -= 1;
+                            self.frame_injected += 1;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Steps this worker's shard of every NoC plane for `cycle`.
+    pub fn net_step(
+        &mut self,
+        shards: &mut [&mut Shard],
+        shareds: &[&SharedNet],
+        cycle: u64,
+    ) {
+        let mut sink = IqSink {
+            tiles: &mut self.tiles,
+            slice: &self.slice,
+            msg_count: &mut self.msg_count,
+            delivered: &mut self.frame_ejected,
+        };
+        for (shard, shared) in shards.iter_mut().zip(shareds) {
+            shard.step(shared, cycle, &mut sink);
+        }
+    }
+
+    /// Records a statistics frame if `cycle` closes one.
+    pub fn frame_tick(&mut self, shards: &mut [&mut Shard], cycle: u64) {
+        if self.verbosity == Verbosity::V0 {
+            return;
+        }
+        if (cycle + 1) % self.frame_interval != 0 {
+            return;
+        }
+        self.capture_frame(shards, cycle + 1 - self.frame_interval);
+    }
+
+    /// Captures the current frame unconditionally (used at kernel end).
+    pub fn capture_frame(&mut self, shards: &mut [&mut Shard], start_cycle: u64) {
+        if self.verbosity == Verbosity::V0 {
+            return;
+        }
+        let mut frame = Frame {
+            index: self.frames.frames.len() as u64,
+            start_cycle,
+            tasks_delta: std::mem::take(&mut self.frame_tasks),
+            injected_delta: std::mem::take(&mut self.frame_injected),
+            ejected_delta: std::mem::take(&mut self.frame_ejected),
+            ..Default::default()
+        };
+        if self.verbosity >= Verbosity::V2 {
+            for shard in shards.iter_mut() {
+                shard.take_busy(&mut self.busy_grid, self.grid.width);
+            }
+            for local in 0..self.tiles.len() {
+                let g = self.slice.global(local);
+                let busy = std::mem::take(&mut self.busy_grid[g as usize]);
+                if busy > 0 {
+                    frame.router_busy.push((g, busy));
+                }
+                let pu = std::mem::take(&mut self.tiles[local].busy_frame);
+                if pu > 0 {
+                    frame.pu_busy.push((g, pu));
+                }
+                if self.verbosity >= Verbosity::V3 && self.tiles[local].iq_msgs > 0 {
+                    frame.iq_occupancy.push((g, self.tiles[local].iq_msgs));
+                }
+            }
+        }
+        self.frames.frames.push(frame);
+    }
+
+    /// Merges this worker's tile counters into `total`.
+    pub fn merge_counters(&self, total: &mut SimCounters) {
+        for t in &self.tiles {
+            total.pu.merge(&t.counters);
+            total.mem.merge(t.mem.counters());
+        }
+    }
+}
+
+impl<A: Application> std::fmt::Debug for Worker<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Worker")
+            .field("cols", &self.slice.cols)
+            .field("msg_count", &self.msg_count)
+            .finish()
+    }
+}
+
+/// The [`EjectSink`] bridging delivered packets into tile input queues.
+struct IqSink<'a> {
+    tiles: &'a mut [TileEngine],
+    slice: &'a ColSlice,
+    msg_count: &'a mut i64,
+    delivered: &'a mut u64,
+}
+
+impl EjectSink for IqSink<'_> {
+    fn offer(&mut self, tile: u32, pkt: Packet) -> Result<(), Packet> {
+        let t = &mut self.tiles[self.slice.local(tile)];
+        let task = pkt.task as usize;
+        if t.iqs[task].len() >= t.iq_caps[task] as usize {
+            return Err(pkt);
+        }
+        t.mem.queue_write(pkt.payload.len().max(1) as u64);
+        t.iqs[task].push_back(pkt.payload);
+        t.iq_msgs += 1;
+        *self.msg_count += 1;
+        *self.delivered += 1;
+        Ok(())
+    }
+}
+
+/// Detects cycles in the task-invocation graph.
+fn has_cycle(n: u8, edges: &[(u8, u8)]) -> bool {
+    let n = n as usize;
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        if (a as usize) < n && (b as usize) < n {
+            adj[a as usize].push(b as usize);
+        }
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done
+    let mut state = vec![0u8; n];
+    fn dfs(v: usize, adj: &[Vec<usize>], state: &mut [u8]) -> bool {
+        state[v] = 1;
+        for &w in &adj[v] {
+            if state[w] == 1 || (state[w] == 0 && dfs(w, adj, state)) {
+                return true;
+            }
+        }
+        state[v] = 2;
+        false
+    }
+    (0..n).any(|v| state[v] == 0 && dfs(v, &adj, &mut state))
+}
+
+/// Assembles the final result (called by the driver).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish<A: Application>(
+    cfg: &SystemConfig,
+    app: &A,
+    mut workers: Vec<Worker<A>>,
+    networks: Vec<Network>,
+    runtime_cycles: u64,
+    host_started: Instant,
+    threads: usize,
+) -> SimResult {
+    let mut counters = SimCounters::default();
+    for w in &workers {
+        w.merge_counters(&mut counters);
+    }
+    for n in &networks {
+        counters.noc.merge(&n.counters());
+    }
+    let runtime = TimePs::ps(runtime_cycles as f64 * cfg.noc_clock.operating.period_ps());
+    counters.runtime_cycles = runtime_cycles;
+    counters.runtime_secs = runtime.as_secs();
+    let mut frames = FrameLog::new(cfg.frame_interval_cycles.max(1));
+    for w in &workers {
+        frames.merge(&w.frames);
+    }
+    // gather per-tile states in global order for the result check
+    let total = (cfg.width() * cfg.height()) as usize;
+    let mut slots: Vec<Option<A::Tile>> = (0..total).map(|_| None).collect();
+    for w in &mut workers {
+        let slice = w.slice.clone();
+        for (local, state) in w.states.drain(..).enumerate() {
+            slots[slice.global(local) as usize] = Some(state);
+        }
+    }
+    let states: Vec<A::Tile> = slots
+        .into_iter()
+        .map(|s| s.expect("every tile has a state"))
+        .collect();
+    let check_error = app.check(&states).err();
+    SimResult {
+        runtime_cycles,
+        runtime,
+        counters,
+        frames,
+        host_seconds: host_started.elapsed().as_secs_f64(),
+        host_threads: threads,
+        check_error,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!has_cycle(3, &[(0, 1), (1, 2)]));
+        assert!(has_cycle(3, &[(0, 1), (1, 2), (2, 0)]));
+        assert!(has_cycle(1, &[(0, 0)]));
+        assert!(!has_cycle(0, &[]));
+        assert!(!has_cycle(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]));
+    }
+}

@@ -1,0 +1,84 @@
+//! Simulation errors.
+
+use muchisim_config::ConfigError;
+use std::error::Error;
+use std::fmt;
+
+/// An error constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The system configuration failed validation.
+    Config(ConfigError),
+    /// The application declares more task types than the engine supports.
+    TooManyTaskTypes {
+        /// Declared count.
+        declared: u8,
+    },
+    /// The application's task-invocation graph has a cycle, which the
+    /// paper forbids to avoid network deadlock (§III-B).
+    CyclicTaskGraph,
+    /// The simulation exceeded the configured cycle limit.
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// The application's result check failed.
+    CheckFailed(
+        /// The application's failure description.
+        String,
+    ),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::TooManyTaskTypes { declared } => {
+                write!(f, "{declared} task types exceed the supported maximum of 32")
+            }
+            SimError::CyclicTaskGraph => {
+                write!(f, "task-invocation graph has a cycle (network deadlock hazard)")
+            }
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            SimError::CheckFailed(why) => write!(f, "result check failed: {why}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::CyclicTaskGraph.to_string().contains("cycle"));
+        assert!(SimError::CheckFailed("boom".into()).to_string().contains("boom"));
+        let e = SimError::Config(ConfigError::NoPus);
+        assert!(e.to_string().contains("invalid configuration"));
+    }
+
+    #[test]
+    fn source_chains_config_error() {
+        let e = SimError::Config(ConfigError::NoPus);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&SimError::CyclicTaskGraph).is_none());
+    }
+}

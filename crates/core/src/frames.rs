@@ -1,0 +1,158 @@
+//! Periodic statistics frames (paper §III-D / §III-F).
+//!
+//! The simulator logs performance counters in *frames* at a configurable
+//! cycle interval. Frames drive the visualization tools: aggregate time
+//! series at verbosity V1, plus per-tile router/PU activity heat maps at
+//! V2 and queue occupancies at V3.
+
+use serde::{Deserialize, Serialize};
+
+/// One statistics frame.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Frame {
+    /// Frame index.
+    pub index: u64,
+    /// First NoC cycle covered by this frame.
+    pub start_cycle: u64,
+    /// Tasks dispatched during the frame.
+    pub tasks_delta: u64,
+    /// Messages injected into the NoC during the frame.
+    pub injected_delta: u64,
+    /// Messages delivered during the frame.
+    pub ejected_delta: u64,
+    /// Per-tile router busy cycles, `(tile, busy)` sparse pairs
+    /// (verbosity ≥ V2).
+    pub router_busy: Vec<(u32, u32)>,
+    /// Per-tile PU busy cycles, sparse pairs (verbosity ≥ V2).
+    pub pu_busy: Vec<(u32, u32)>,
+    /// Per-tile total input-queue occupancy, sparse pairs (verbosity V3).
+    pub iq_occupancy: Vec<(u32, u32)>,
+}
+
+impl Frame {
+    /// Merges a partial frame (from another worker) covering the same
+    /// interval.
+    pub fn merge(&mut self, other: &Frame) {
+        debug_assert_eq!(self.index, other.index);
+        self.tasks_delta += other.tasks_delta;
+        self.injected_delta += other.injected_delta;
+        self.ejected_delta += other.ejected_delta;
+        self.router_busy.extend_from_slice(&other.router_busy);
+        self.pu_busy.extend_from_slice(&other.pu_busy);
+        self.iq_occupancy.extend_from_slice(&other.iq_occupancy);
+    }
+
+    /// Dense per-tile router-activity grid (`total_tiles` entries).
+    pub fn router_grid(&self, total_tiles: u32) -> Vec<u32> {
+        let mut grid = vec![0u32; total_tiles as usize];
+        for &(t, v) in &self.router_busy {
+            grid[t as usize] += v;
+        }
+        grid
+    }
+
+    /// Dense per-tile PU-activity grid.
+    pub fn pu_grid(&self, total_tiles: u32) -> Vec<u32> {
+        let mut grid = vec![0u32; total_tiles as usize];
+        for &(t, v) in &self.pu_busy {
+            grid[t as usize] += v;
+        }
+        grid
+    }
+}
+
+/// The sequence of frames produced by one simulation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameLog {
+    /// Frame interval in NoC cycles.
+    pub interval_cycles: u64,
+    /// Frames in time order.
+    pub frames: Vec<Frame>,
+}
+
+impl FrameLog {
+    /// Creates an empty log with the given interval.
+    pub fn new(interval_cycles: u64) -> Self {
+        FrameLog {
+            interval_cycles,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Number of frames recorded.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether no frames were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Merges a per-worker partial log into this one (frame-by-frame).
+    pub fn merge(&mut self, other: &FrameLog) {
+        for (i, f) in other.frames.iter().enumerate() {
+            if i < self.frames.len() {
+                self.frames[i].merge(f);
+            } else {
+                self.frames.push(f.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_combines_sparse_grids() {
+        let mut a = Frame {
+            index: 0,
+            tasks_delta: 2,
+            router_busy: vec![(0, 5)],
+            ..Default::default()
+        };
+        let b = Frame {
+            index: 0,
+            tasks_delta: 3,
+            router_busy: vec![(1, 7)],
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks_delta, 5);
+        assert_eq!(a.router_grid(2), vec![5, 7]);
+    }
+
+    #[test]
+    fn log_merge_aligns_by_index() {
+        let mut a = FrameLog::new(100);
+        a.frames.push(Frame {
+            index: 0,
+            pu_busy: vec![(0, 1)],
+            ..Default::default()
+        });
+        let mut b = FrameLog::new(100);
+        b.frames.push(Frame {
+            index: 0,
+            pu_busy: vec![(1, 2)],
+            ..Default::default()
+        });
+        b.frames.push(Frame {
+            index: 1,
+            pu_busy: vec![(1, 3)],
+            ..Default::default()
+        });
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.frames[0].pu_grid(2), vec![1, 2]);
+        assert_eq!(a.frames[1].pu_grid(2), vec![0, 3]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = FrameLog::new(10);
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+    }
+}

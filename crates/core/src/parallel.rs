@@ -1,0 +1,269 @@
+//! The cycle-loop driver: one host thread per column slice, with spin
+//! barriers between the two phases of each NoC cycle.
+//!
+//! Phase order per cycle (paper §III-C semantics):
+//!
+//! 1. **local phase** — each shard applies deferred buffer frees and
+//!    deferred pushes and drains cross-shard mailboxes (all self-owned
+//!    state); then the worker dispatches ready tasks on its tiles and
+//!    injects ready channel-queue heads into its own shards.
+//! 2. *(barrier)* **step phase** — every shard routes one cycle; ejected
+//!    packets land in the worker's input queues.
+//! 3. *(barrier, last arriver decides)* global quiescence (no queued
+//!    messages anywhere + empty network) or cycle-limit stop.
+//!
+//! Because every inter-worker interaction is confined to barrier-separated
+//! phases and single-producer queues, a run with N workers is
+//! bit-identical to a run with one. The barriers are sense-reversing spin
+//! barriers: at one microsecond-scale cycle cost, OS-level barriers would
+//! dominate the simulation (the paper reaches linear speedup only because
+//! its thread synchronization is similarly cheap).
+
+use crate::app::Application;
+use crate::engine::{finish, SimSetup, Worker};
+use crate::error::SimError;
+use crate::tile::SimResult;
+use muchisim_config::SystemConfig;
+use muchisim_noc::{Shard, SharedNet};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// A sense-reversing centralized spin barrier.
+///
+/// The last thread to arrive may run a closure (the "leader action")
+/// before releasing the others — used for the global stop decision.
+struct SpinBarrier {
+    count: AtomicUsize,
+    sense: AtomicBool,
+    n: usize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+            n,
+        }
+    }
+
+    fn wait(&self, local_sense: &mut bool) {
+        self.wait_leader(local_sense, || {});
+    }
+
+    fn wait_leader<F: FnOnce()>(&self, local_sense: &mut bool, leader: F) {
+        let target = !*local_sense;
+        *local_sense = target;
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            leader();
+            self.count.store(0, Ordering::Relaxed);
+            self.sense.store(target, Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.sense.load(Ordering::Acquire) != target {
+                spins += 1;
+                if spins < 1 << 14 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Shared synchronization state for the worker threads.
+struct SyncState {
+    barrier: SpinBarrier,
+    /// Kernel drained (set by the deciding thread).
+    stop: AtomicBool,
+    /// Cycle limit exceeded.
+    limit_hit: AtomicBool,
+    /// Per-worker pending-message counts, published each cycle.
+    activity: Vec<AtomicI64>,
+    /// Per-worker max PU completion time (f64 bits), published at kernel end.
+    max_pu_bits: Vec<AtomicU64>,
+    /// Cycle at which the current kernel drained.
+    drained_cycle: AtomicU64,
+}
+
+impl SyncState {
+    fn new(n: usize) -> Self {
+        SyncState {
+            barrier: SpinBarrier::new(n),
+            stop: AtomicBool::new(false),
+            limit_hit: AtomicBool::new(false),
+            activity: (0..n).map(|_| AtomicI64::new(0)).collect(),
+            max_pu_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            drained_cycle: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Runs the whole simulation and assembles the result.
+pub(crate) fn drive<A: Application>(
+    cfg: &SystemConfig,
+    app: &A,
+    setup: SimSetup<A>,
+    cycle_limit: u64,
+) -> Result<SimResult, SimError> {
+    let started = Instant::now();
+    let SimSetup {
+        mut workers,
+        mut networks,
+    } = setup;
+    let nworkers = workers.len();
+    let sync = SyncState::new(nworkers);
+    let termination = cfg.termination_latency_cycles();
+    let kernels = app.kernels();
+    let noc_period = cfg.noc_clock.operating.period_ps();
+    let runtime_cycles;
+    {
+        // hand each worker its shard of every NoC plane
+        let mut shareds: Vec<&SharedNet> = Vec::with_capacity(networks.len());
+        let mut per_worker: Vec<Vec<&mut Shard>> = (0..nworkers).map(|_| Vec::new()).collect();
+        for net in networks.iter_mut() {
+            let (shared, shards) = net.split();
+            shareds.push(shared);
+            debug_assert_eq!(shards.len(), nworkers);
+            for (i, sh) in shards.iter_mut().enumerate() {
+                per_worker[i].push(sh);
+            }
+        }
+        let final_cycle = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut rest = per_worker;
+            let my_shards = rest.remove(0);
+            let (first_worker, rest_workers) = workers
+                .split_first_mut()
+                .expect("at least one worker");
+            for (widx, (worker, shards)) in rest_workers.iter_mut().zip(rest).enumerate() {
+                let shareds = shareds.clone();
+                let sync = &sync;
+                let final_cycle = &final_cycle;
+                handles.push(scope.spawn(move || {
+                    worker_loop(
+                        worker,
+                        shards,
+                        &shareds,
+                        app,
+                        sync,
+                        final_cycle,
+                        kernels,
+                        cycle_limit,
+                        termination,
+                        noc_period,
+                        widx + 1,
+                        nworkers,
+                    );
+                }));
+            }
+            worker_loop(
+                first_worker,
+                my_shards,
+                &shareds,
+                app,
+                &sync,
+                &final_cycle,
+                kernels,
+                cycle_limit,
+                termination,
+                noc_period,
+                0,
+                nworkers,
+            );
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+        runtime_cycles = final_cycle.load(Ordering::Acquire);
+    }
+    if sync.limit_hit.load(Ordering::Acquire) {
+        return Err(SimError::CycleLimitExceeded { limit: cycle_limit });
+    }
+    Ok(finish(
+        cfg,
+        app,
+        workers,
+        networks,
+        runtime_cycles,
+        started,
+        nworkers,
+    ))
+}
+
+/// The per-thread kernel + cycle loop.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<A: Application>(
+    worker: &mut Worker<A>,
+    mut shards: Vec<&mut Shard>,
+    shareds: &[&SharedNet],
+    app: &A,
+    sync: &SyncState,
+    final_cycle: &AtomicU64,
+    kernels: u32,
+    cycle_limit: u64,
+    termination: u64,
+    noc_period_ps: f64,
+    widx: usize,
+    nworkers: usize,
+) {
+    let mut sense = false;
+    let mut base = 0u64;
+    for kernel in 0..kernels {
+        worker.start_kernel(kernel);
+        let mut cycle = base;
+        loop {
+            // local phase: everything here touches only worker-owned state
+            for (shard, shared) in shards.iter_mut().zip(shareds) {
+                shard.begin_cycle(shared);
+            }
+            worker.pu_phase(app, cycle);
+            worker.inject_phase(&mut shards, shareds, cycle);
+            sync.barrier.wait(&mut sense);
+            // step phase
+            worker.net_step(&mut shards, shareds, cycle);
+            worker.frame_tick(&mut shards, cycle);
+            sync.activity[widx].store(worker.msg_count, Ordering::Release);
+            // decision phase: the last thread to arrive decides
+            sync.barrier.wait_leader(&mut sense, || {
+                let pending: i64 = (0..nworkers)
+                    .map(|i| sync.activity[i].load(Ordering::Acquire))
+                    .sum();
+                let in_net: i64 = shareds.iter().map(|s| s.in_flight()).sum();
+                if pending == 0 && in_net == 0 {
+                    sync.drained_cycle.store(cycle, Ordering::Release);
+                    sync.stop.store(true, Ordering::Release);
+                } else if cycle - base >= cycle_limit {
+                    sync.limit_hit.store(true, Ordering::Release);
+                    sync.drained_cycle.store(cycle, Ordering::Release);
+                    sync.stop.store(true, Ordering::Release);
+                }
+            });
+            if sync.stop.load(Ordering::Acquire) {
+                break;
+            }
+            cycle += 1;
+        }
+        // close the kernel's last partial frame
+        let frame_start = cycle - (cycle % worker.frames.interval_cycles.max(1));
+        worker.capture_frame(&mut shards, frame_start);
+        // publish this worker's PU tail and compute the kernel barrier
+        sync.max_pu_bits[widx].store(worker.max_pu_ps.to_bits(), Ordering::Release);
+        sync.barrier.wait(&mut sense);
+        let drained = sync.drained_cycle.load(Ordering::Acquire);
+        let max_pu_ps = (0..nworkers)
+            .map(|i| f64::from_bits(sync.max_pu_bits[i].load(Ordering::Acquire)))
+            .fold(0.0f64, f64::max);
+        let pu_tail_cycle = (max_pu_ps / noc_period_ps).ceil() as u64;
+        base = drained.max(pu_tail_cycle) + termination;
+        sync.barrier.wait_leader(&mut sense, || {
+            sync.stop.store(false, Ordering::Release);
+            final_cycle.store(base, Ordering::Release);
+        });
+        if sync.limit_hit.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}

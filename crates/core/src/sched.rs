@@ -1,0 +1,117 @@
+//! TSU scheduling policies (paper §III-A "Task Scheduling Unit").
+
+use muchisim_config::SchedulingPolicy;
+use std::collections::VecDeque;
+
+/// Scheduler state for one tile's TSU.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    policy: SchedulingPolicy,
+    /// Round-robin pointer (last served task id).
+    rr_last: u8,
+    /// Priority order: task ids, highest priority first (priority policy).
+    order: Vec<u8>,
+}
+
+impl Scheduler {
+    /// Builds a scheduler for `task_types` task ids with `policy`.
+    pub fn new(policy: SchedulingPolicy, task_types: u8) -> Self {
+        let order = match &policy {
+            SchedulingPolicy::Priority(listed) => {
+                let mut order = listed.clone();
+                for t in 0..task_types {
+                    if !order.contains(&t) {
+                        order.push(t);
+                    }
+                }
+                order
+            }
+            _ => (0..task_types).collect(),
+        };
+        Scheduler {
+            policy,
+            rr_last: task_types.saturating_sub(1),
+            order,
+        }
+    }
+
+    /// Picks the next task-type queue to serve, or `None` if all are
+    /// empty. `iqs[t]` is the input queue of task `t`.
+    pub fn pick<T>(&mut self, iqs: &[VecDeque<T>]) -> Option<u8> {
+        match &self.policy {
+            SchedulingPolicy::RoundRobin => {
+                let n = iqs.len() as u8;
+                for step in 1..=n {
+                    let t = (self.rr_last + step) % n;
+                    if !iqs[t as usize].is_empty() {
+                        self.rr_last = t;
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            SchedulingPolicy::Priority(_) => self
+                .order
+                .iter()
+                .copied()
+                .find(|&t| iqs.get(t as usize).is_some_and(|q| !q.is_empty())),
+            SchedulingPolicy::OccupancyBased => iqs
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| !q.is_empty())
+                .max_by_key(|(i, q)| (q.len(), usize::MAX - i))
+                .map(|(i, _)| i as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queues(lens: &[usize]) -> Vec<VecDeque<u32>> {
+        lens.iter()
+            .map(|&n| (0..n as u32).collect::<VecDeque<u32>>())
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_fairly() {
+        let mut s = Scheduler::new(SchedulingPolicy::RoundRobin, 3);
+        let iqs = queues(&[2, 2, 2]);
+        assert_eq!(s.pick(&iqs), Some(0));
+        assert_eq!(s.pick(&iqs), Some(1));
+        assert_eq!(s.pick(&iqs), Some(2));
+        assert_eq!(s.pick(&iqs), Some(0));
+    }
+
+    #[test]
+    fn round_robin_skips_empty() {
+        let mut s = Scheduler::new(SchedulingPolicy::RoundRobin, 3);
+        let iqs = queues(&[0, 2, 0]);
+        assert_eq!(s.pick(&iqs), Some(1));
+        assert_eq!(s.pick(&iqs), Some(1));
+        assert_eq!(s.pick(&queues(&[0, 0, 0])), None);
+    }
+
+    #[test]
+    fn priority_serves_listed_first() {
+        let mut s = Scheduler::new(SchedulingPolicy::Priority(vec![2, 0]), 3);
+        let iqs = queues(&[1, 5, 1]);
+        assert_eq!(s.pick(&iqs), Some(2));
+        let iqs = queues(&[1, 5, 0]);
+        assert_eq!(s.pick(&iqs), Some(0));
+        let iqs = queues(&[0, 5, 0]);
+        assert_eq!(s.pick(&iqs), Some(1), "unlisted tasks come last");
+    }
+
+    #[test]
+    fn occupancy_serves_fullest() {
+        let mut s = Scheduler::new(SchedulingPolicy::OccupancyBased, 3);
+        let iqs = queues(&[1, 5, 3]);
+        assert_eq!(s.pick(&iqs), Some(1));
+        // tie broken towards the lower task id
+        let iqs = queues(&[4, 4, 1]);
+        assert_eq!(s.pick(&iqs), Some(0));
+    }
+}

@@ -1,0 +1,100 @@
+//! Column-slice bookkeeping shared by tiles, shards, and DRAM channels.
+
+use std::ops::Range;
+
+/// A contiguous range of grid columns owned by one worker, with local ↔
+/// global tile-id conversion (the same layout the NoC shards use).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColSlice {
+    /// Owned columns.
+    pub cols: Range<u32>,
+    /// Global grid width.
+    pub width: u32,
+    /// Global grid height.
+    pub height: u32,
+}
+
+impl ColSlice {
+    /// Creates a slice.
+    pub fn new(cols: Range<u32>, width: u32, height: u32) -> Self {
+        ColSlice {
+            cols,
+            width,
+            height,
+        }
+    }
+
+    /// Number of columns owned.
+    pub fn ncols(&self) -> u32 {
+        self.cols.end - self.cols.start
+    }
+
+    /// Number of tiles owned.
+    pub fn num_tiles(&self) -> usize {
+        (self.ncols() * self.height) as usize
+    }
+
+    /// Whether the slice owns `tile`.
+    pub fn owns(&self, tile: u32) -> bool {
+        self.cols.contains(&(tile % self.width))
+    }
+
+    /// Local index of a global tile id.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the tile is not owned.
+    pub fn local(&self, tile: u32) -> usize {
+        debug_assert!(self.owns(tile), "tile {tile} not in slice");
+        let x = tile % self.width;
+        let y = tile / self.width;
+        (y * self.ncols() + (x - self.cols.start)) as usize
+    }
+
+    /// Global tile id of a local index.
+    pub fn global(&self, local: usize) -> u32 {
+        let ncols = self.ncols() as usize;
+        let y = (local / ncols) as u32;
+        let x = self.cols.start + (local % ncols) as u32;
+        y * self.width + x
+    }
+
+    /// Iterates over all owned global tile ids in local order.
+    pub fn iter_tiles(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_tiles()).map(move |l| self.global(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_global_round_trip() {
+        let s = ColSlice::new(2..5, 8, 4);
+        assert_eq!(s.num_tiles(), 12);
+        for l in 0..s.num_tiles() {
+            let g = s.global(l);
+            assert!(s.owns(g));
+            assert_eq!(s.local(g), l);
+        }
+    }
+
+    #[test]
+    fn ownership() {
+        let s = ColSlice::new(2..5, 8, 4);
+        assert!(!s.owns(0));
+        assert!(s.owns(2));
+        assert!(s.owns(8 + 4));
+        assert!(!s.owns(8 + 5));
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let s = ColSlice::new(0..8, 8, 2);
+        let tiles: Vec<u32> = s.iter_tiles().collect();
+        assert_eq!(tiles.len(), 16);
+        assert_eq!(tiles[0], 0);
+        assert_eq!(*tiles.last().unwrap(), 15);
+    }
+}

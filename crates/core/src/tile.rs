@@ -1,0 +1,183 @@
+//! Per-tile engine state and the simulation result type.
+
+use crate::app::OutMsg;
+use crate::counters::{PuCounters, SimCounters};
+use crate::frames::FrameLog;
+use crate::sched::Scheduler;
+use muchisim_config::{SchedulingPolicy, SystemConfig, TimePs};
+use muchisim_mem::TileMemory;
+use muchisim_noc::Payload;
+use std::collections::VecDeque;
+
+/// The engine state of one tile: input queues, channel queues, PU clocks,
+/// TSU scheduler, and the tile's memory model.
+#[derive(Debug)]
+pub(crate) struct TileEngine {
+    /// One input queue per task type (payloads only; the queue index is
+    /// the task id).
+    pub iqs: Vec<VecDeque<Payload>>,
+    /// Per-task IQ capacity in messages.
+    pub iq_caps: Vec<u32>,
+    /// One channel queue per task type, draining into the NoC.
+    pub cqs: Vec<VecDeque<OutMsg>>,
+    /// Per-PU clock in PU cycles.
+    pub pu_clock: Vec<u64>,
+    /// TSU scheduler.
+    pub sched: Scheduler,
+    /// Whether this kernel's init task has not yet run.
+    pub init_pending: bool,
+    /// The tile's memory model.
+    pub mem: TileMemory,
+    /// PU event counters for this tile.
+    pub counters: PuCounters,
+    /// Messages queued in IQs (cheap activity check).
+    pub iq_msgs: u32,
+    /// Messages queued in CQs.
+    pub cq_msgs: u32,
+    /// PU busy cycles accumulated in the current statistics frame.
+    pub busy_frame: u32,
+}
+
+impl TileEngine {
+    pub(crate) fn new(
+        cfg: &SystemConfig,
+        task_types: u8,
+        iq_caps: Vec<u32>,
+        policy: SchedulingPolicy,
+    ) -> Self {
+        TileEngine {
+            iqs: (0..task_types).map(|_| VecDeque::new()).collect(),
+            iq_caps,
+            cqs: (0..task_types).map(|_| VecDeque::new()).collect(),
+            pu_clock: vec![0; cfg.pus_per_tile as usize],
+            sched: Scheduler::new(policy, task_types),
+            init_pending: false,
+            mem: TileMemory::from_system(cfg),
+            counters: PuCounters::default(),
+            iq_msgs: 0,
+            cq_msgs: 0,
+            busy_frame: 0,
+        }
+    }
+
+    /// Whether the TSU has anything to dispatch.
+    pub fn has_work(&self) -> bool {
+        self.init_pending || self.iq_msgs > 0
+    }
+
+    /// Index of the PU with the earliest clock.
+    pub fn earliest_pu(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.pu_clock.iter().enumerate() {
+            if c < self.pu_clock[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Whether any channel queue exceeds `cap` (send-side backpressure:
+    /// the TSU stalls new dispatches until the NoC drains the CQs).
+    pub fn cq_over(&self, cap: u32) -> bool {
+        self.cqs.iter().any(|q| q.len() > cap as usize)
+    }
+}
+
+/// The outcome of a simulation run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SimResult {
+    /// DUT runtime in NoC cycles (including the idleness-based
+    /// termination-detection latency of 2 × network diameter).
+    pub runtime_cycles: u64,
+    /// DUT runtime as wall time.
+    pub runtime: TimePs,
+    /// All event counters (the counters file for post-processing).
+    pub counters: SimCounters,
+    /// Statistics frames.
+    pub frames: FrameLog,
+    /// Host wall-clock seconds spent simulating.
+    pub host_seconds: f64,
+    /// Host threads used.
+    pub host_threads: usize,
+    /// Result of the application's output check (`None` if it passed).
+    pub check_error: Option<String>,
+}
+
+impl SimResult {
+    /// Ratio of simulator wall time to DUT time (the paper's Fig. 3
+    /// metric, where DUT time is per-tile aggregated runtime).
+    pub fn slowdown_vs_dut(&self) -> f64 {
+        let dut = self.runtime.as_secs();
+        if dut == 0.0 {
+            0.0
+        } else {
+            self.host_seconds / dut
+        }
+    }
+
+    /// DUT operation throughput in ops per host second (Fig. 4's Ops/s).
+    pub fn host_ops_per_sec(&self) -> f64 {
+        if self.host_seconds == 0.0 {
+            0.0
+        } else {
+            self.counters.pu.total_ops() as f64 / self.host_seconds
+        }
+    }
+
+    /// NoC flits routed per host second (Fig. 4's Msg/s).
+    pub fn host_flits_per_sec(&self) -> f64 {
+        if self.host_seconds == 0.0 {
+            0.0
+        } else {
+            self.counters.noc.total_flit_hops() as f64 / self.host_seconds
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile() -> TileEngine {
+        TileEngine::new(
+            &SystemConfig::default(),
+            2,
+            vec![8, 8],
+            SchedulingPolicy::RoundRobin,
+        )
+    }
+
+    #[test]
+    fn fresh_tile_is_idle() {
+        let t = tile();
+        assert!(!t.has_work());
+        assert_eq!(t.earliest_pu(), 0);
+        assert!(!t.cq_over(4));
+    }
+
+    #[test]
+    fn earliest_pu_finds_minimum() {
+        let mut t = TileEngine::new(
+            &SystemConfig::builder().pus_per_tile(3).build().unwrap(),
+            1,
+            vec![8],
+            SchedulingPolicy::RoundRobin,
+        );
+        t.pu_clock = vec![10, 3, 7];
+        assert_eq!(t.earliest_pu(), 1);
+    }
+
+    #[test]
+    fn result_ratios() {
+        let r = SimResult {
+            runtime_cycles: 1000,
+            runtime: TimePs::us(1.0),
+            counters: SimCounters::default(),
+            frames: FrameLog::new(100),
+            host_seconds: 0.01,
+            host_threads: 1,
+            check_error: None,
+        };
+        assert!((r.slowdown_vs_dut() - 10_000.0).abs() < 1e-6);
+    }
+}

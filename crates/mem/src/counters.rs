@@ -1,0 +1,102 @@
+//! Memory-event counters, part of the counters file used for energy
+//! post-processing (paper §III-D).
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of memory events for one tile or aggregated over tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MemCounters {
+    /// SRAM read accesses (word granularity).
+    pub sram_reads: u64,
+    /// SRAM write accesses (word granularity).
+    pub sram_writes: u64,
+    /// Bits read from SRAM (words + line fills + victim reads).
+    pub sram_read_bits: u64,
+    /// Bits written to SRAM.
+    pub sram_write_bits: u64,
+    /// Cache tag read + compare operations.
+    pub tag_accesses: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Dirty lines written back to DRAM.
+    pub writebacks: u64,
+    /// Lines fetched from DRAM (demand misses).
+    pub dram_line_reads: u64,
+    /// Lines written to DRAM (writebacks).
+    pub dram_line_writes: u64,
+    /// Lines fetched by the prefetcher.
+    pub prefetch_fills: u64,
+    /// Demand accesses that hit a prefetched line.
+    pub prefetch_hits: u64,
+    /// Task-queue reads (modeled as SRAM loads, paper §III-A "Queues").
+    pub queue_reads: u64,
+    /// Task-queue writes.
+    pub queue_writes: u64,
+}
+
+impl MemCounters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &MemCounters) {
+        self.sram_reads += other.sram_reads;
+        self.sram_writes += other.sram_writes;
+        self.sram_read_bits += other.sram_read_bits;
+        self.sram_write_bits += other.sram_write_bits;
+        self.tag_accesses += other.tag_accesses;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.writebacks += other.writebacks;
+        self.dram_line_reads += other.dram_line_reads;
+        self.dram_line_writes += other.dram_line_writes;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_hits += other.prefetch_hits;
+        self.queue_reads += other.queue_reads;
+        self.queue_writes += other.queue_writes;
+    }
+
+    /// Cache hit rate in `[0, 1]`, or 1.0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total DRAM line transfers (reads + writes + prefetches).
+    pub fn dram_lines(&self) -> u64 {
+        self.dram_line_reads + self.dram_line_writes + self.prefetch_fills
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let a = MemCounters {
+            sram_reads: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+            dram_line_reads: 2,
+            ..Default::default()
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.sram_reads, 2);
+        assert_eq!(b.cache_hits, 6);
+        assert_eq!(b.dram_lines(), 4);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut c = MemCounters::default();
+        assert_eq!(c.hit_rate(), 1.0);
+        c.cache_hits = 3;
+        c.cache_misses = 1;
+        assert_eq!(c.hit_rate(), 0.75);
+    }
+}

@@ -1,0 +1,109 @@
+//! Performance counters collected by the NoC (paper §III-D: hops, traffic
+//! and contention at every hierarchy level, recorded in the counters file
+//! for energy post-processing).
+
+use muchisim_config::LinkClass;
+use serde::{Deserialize, Serialize};
+
+/// Index of a [`LinkClass`] in per-class counter arrays.
+pub(crate) fn class_index(class: LinkClass) -> usize {
+    match class {
+        LinkClass::OnChip => 0,
+        LinkClass::DieToDie => 1,
+        LinkClass::OffPackage => 2,
+        LinkClass::InterNode => 3,
+    }
+}
+
+/// Aggregated NoC counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NocCounters {
+    /// Packets injected by PUs.
+    pub injected: u64,
+    /// Packets delivered to destination tiles.
+    pub ejected: u64,
+    /// Router-to-router packet moves.
+    pub msg_hops: u64,
+    /// Flit hops per link class `[on-chip, die-to-die, off-package,
+    /// inter-node]`.
+    pub flit_hops_by_class: [u64; 4],
+    /// Flit × millimeter product for on-chip wire energy.
+    pub onchip_flit_mm: f64,
+    /// Destination-port collisions: extra candidates that lost round-robin
+    /// arbitration in some cycle.
+    pub collisions: u64,
+    /// Moves blocked by a full downstream buffer.
+    pub backpressure: u64,
+    /// Ejections refused because the tile's input queue was full.
+    pub eject_stalls: u64,
+    /// Messages eliminated by in-network reduction combining.
+    pub reduce_combines: u64,
+}
+
+impl NocCounters {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &NocCounters) {
+        self.injected += other.injected;
+        self.ejected += other.ejected;
+        self.msg_hops += other.msg_hops;
+        for i in 0..4 {
+            self.flit_hops_by_class[i] += other.flit_hops_by_class[i];
+        }
+        self.onchip_flit_mm += other.onchip_flit_mm;
+        self.collisions += other.collisions;
+        self.backpressure += other.backpressure;
+        self.eject_stalls += other.eject_stalls;
+        self.reduce_combines += other.reduce_combines;
+    }
+
+    /// Total flit hops across all link classes.
+    pub fn total_flit_hops(&self) -> u64 {
+        self.flit_hops_by_class.iter().sum()
+    }
+
+    /// Flit hops over `class` links.
+    pub fn flit_hops(&self, class: LinkClass) -> u64 {
+        self.flit_hops_by_class[class_index(class)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = NocCounters {
+            injected: 1,
+            ejected: 2,
+            msg_hops: 3,
+            flit_hops_by_class: [1, 2, 3, 4],
+            onchip_flit_mm: 1.5,
+            collisions: 1,
+            backpressure: 2,
+            eject_stalls: 3,
+            reduce_combines: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.injected, 2);
+        assert_eq!(a.flit_hops_by_class, [2, 4, 6, 8]);
+        assert_eq!(a.onchip_flit_mm, 3.0);
+        assert_eq!(a.total_flit_hops(), 20);
+        assert_eq!(a.flit_hops(LinkClass::DieToDie), 4);
+    }
+
+    #[test]
+    fn class_indices_distinct() {
+        let idxs = [
+            class_index(LinkClass::OnChip),
+            class_index(LinkClass::DieToDie),
+            class_index(LinkClass::OffPackage),
+            class_index(LinkClass::InterNode),
+        ];
+        for (i, a) in idxs.iter().enumerate() {
+            for b in &idxs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Dimension-ordered (XY) routing with dateline virtual channels.
+
+use crate::port::{InPort, OutDir};
+use crate::topo::TopoInfo;
+use muchisim_config::NocTopology;
+
+/// The outcome of a routing decision for one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteDecision {
+    /// Output direction to take.
+    pub dir: OutDir,
+    /// Virtual channel the packet travels on for this hop (dateline
+    /// discipline: packets switch to VC 1 after using a wrap link and
+    /// reset to VC 0 when turning into the other dimension).
+    pub vc: u8,
+}
+
+/// Whether the packet arriving on `port` was already traveling in the X
+/// dimension.
+fn was_traveling_x(port: InPort) -> bool {
+    matches!(
+        port,
+        InPort::FromE0
+            | InPort::FromE1
+            | InPort::FromW0
+            | InPort::FromW1
+            | InPort::FromRucheE
+            | InPort::FromRucheW
+    )
+}
+
+/// Whether the packet arriving on `port` was already traveling in the Y
+/// dimension.
+fn was_traveling_y(port: InPort) -> bool {
+    matches!(
+        port,
+        InPort::FromN0
+            | InPort::FromN1
+            | InPort::FromS0
+            | InPort::FromS1
+            | InPort::FromRucheN
+            | InPort::FromRucheS
+    )
+}
+
+/// Signed distance to travel along one dimension of size `size` from `cur`
+/// to `dst`; positive means increasing coordinate.
+///
+/// On a torus the shorter way around is chosen (ties go positive).
+fn signed_delta(cur: u32, dst: u32, size: u32, torus: bool) -> i64 {
+    let direct = dst as i64 - cur as i64;
+    if !torus {
+        return direct;
+    }
+    let size = size as i64;
+    let wrapped = if direct > 0 {
+        direct - size
+    } else {
+        direct + size
+    };
+    if direct.abs() < wrapped.abs() || (direct.abs() == wrapped.abs() && direct > 0) {
+        direct
+    } else {
+        wrapped
+    }
+}
+
+/// Computes the next hop for a packet at router `cur` (tile id) heading to
+/// `dst`, having arrived on `in_port` with virtual channel `vc`.
+///
+/// Routing is strictly X-then-Y. Ruche links (length `R`) are taken while
+/// at least `R` hops remain in the current direction and the link stays in
+/// the grid (Ruche links never wrap).
+pub fn decide(topo: &TopoInfo, cur: u32, in_port: InPort, vc: u8, dst: u32) -> RouteDecision {
+    if cur == dst {
+        return RouteDecision {
+            dir: OutDir::Eject,
+            vc: 0,
+        };
+    }
+    let (cx, cy) = topo.coords(cur);
+    let (dx_t, dy_t) = topo.coords(dst);
+    let torus = topo.topology == NocTopology::FoldedTorus;
+    let dx = signed_delta(cx, dx_t, topo.width, torus);
+    if dx != 0 {
+        let ring_vc = if was_traveling_x(in_port) { vc } else { 0 };
+        let (dir, ruche_dir, wrap) = if dx > 0 {
+            (OutDir::E, OutDir::RucheE, cx == topo.width - 1)
+        } else {
+            (OutDir::W, OutDir::RucheW, cx == 0)
+        };
+        if let Some(r) = topo.ruche_factor {
+            let in_grid = if dx > 0 {
+                cx + r < topo.width
+            } else {
+                cx >= r
+            };
+            if dx.unsigned_abs() >= r as u64 && in_grid {
+                return RouteDecision {
+                    dir: ruche_dir,
+                    vc: ring_vc,
+                };
+            }
+        }
+        let new_vc = if torus && wrap { 1 } else { ring_vc };
+        return RouteDecision { dir, vc: new_vc };
+    }
+    let dy = signed_delta(cy, dy_t, topo.height, torus);
+    debug_assert_ne!(dy, 0, "cur != dst but both deltas are zero");
+    let ring_vc = if was_traveling_y(in_port) { vc } else { 0 };
+    let (dir, ruche_dir, wrap) = if dy > 0 {
+        (OutDir::S, OutDir::RucheS, cy == topo.height - 1)
+    } else {
+        (OutDir::N, OutDir::RucheN, cy == 0)
+    };
+    if let Some(r) = topo.ruche_factor {
+        let in_grid = if dy > 0 {
+            cy + r < topo.height
+        } else {
+            cy >= r
+        };
+        if dy.unsigned_abs() >= r as u64 && in_grid {
+            return RouteDecision {
+                dir: ruche_dir,
+                vc: ring_vc,
+            };
+        }
+    }
+    let new_vc = if torus && wrap { 1 } else { ring_vc };
+    RouteDecision { dir, vc: new_vc }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muchisim_config::{NocTopology, SystemConfig};
+
+    fn topo(w: u32, h: u32, topology: NocTopology, ruche: Option<u32>) -> TopoInfo {
+        let mut b = SystemConfig::builder();
+        b.chiplet_tiles(w, h).noc_topology(topology);
+        if let Some(r) = ruche {
+            b.ruche_factor(r);
+        }
+        TopoInfo::from_system(&b.build().unwrap())
+    }
+
+    fn id(t: &TopoInfo, x: u32, y: u32) -> u32 {
+        y * t.width + x
+    }
+
+    #[test]
+    fn eject_at_destination() {
+        let t = topo(4, 4, NocTopology::Mesh, None);
+        let d = decide(&t, 5, InPort::Inject, 0, 5);
+        assert_eq!(d.dir, OutDir::Eject);
+    }
+
+    #[test]
+    fn x_before_y() {
+        let t = topo(8, 8, NocTopology::Mesh, None);
+        // from (1,1) to (5,6): must go east first
+        let d = decide(&t, id(&t, 1, 1), InPort::Inject, 0, id(&t, 5, 6));
+        assert_eq!(d.dir, OutDir::E);
+        // from (5,1) to (5,6): south
+        let d = decide(&t, id(&t, 5, 1), InPort::Inject, 0, id(&t, 5, 6));
+        assert_eq!(d.dir, OutDir::S);
+        // northbound
+        let d = decide(&t, id(&t, 5, 6), InPort::Inject, 0, id(&t, 5, 1));
+        assert_eq!(d.dir, OutDir::N);
+        // westbound
+        let d = decide(&t, id(&t, 5, 1), InPort::Inject, 0, id(&t, 1, 1));
+        assert_eq!(d.dir, OutDir::W);
+    }
+
+    #[test]
+    fn mesh_never_wraps() {
+        let t = topo(4, 4, NocTopology::Mesh, None);
+        // (3,0) to (0,0): direct west even though wrap would be shorter on
+        // a torus
+        let d = decide(&t, id(&t, 3, 0), InPort::Inject, 0, id(&t, 0, 0));
+        assert_eq!(d.dir, OutDir::W);
+        assert_eq!(d.vc, 0);
+    }
+
+    #[test]
+    fn torus_takes_shorter_way_and_switches_vc_on_wrap() {
+        let t = topo(8, 8, NocTopology::FoldedTorus, None);
+        // (7,0) to (1,0): eastward wrap (distance 2) beats west (6)
+        let d = decide(&t, id(&t, 7, 0), InPort::Inject, 0, id(&t, 1, 0));
+        assert_eq!(d.dir, OutDir::E);
+        assert_eq!(d.vc, 1, "wrap hop must switch to VC1");
+        // continuing east at (0,0) keeps VC1
+        let d = decide(&t, id(&t, 0, 0), InPort::FromW1, 1, id(&t, 1, 0));
+        assert_eq!(d.dir, OutDir::E);
+        assert_eq!(d.vc, 1);
+    }
+
+    #[test]
+    fn turn_resets_vc() {
+        let t = topo(8, 8, NocTopology::FoldedTorus, None);
+        // packet on VC1 in the x ring turning south starts the y ring on VC0
+        let d = decide(&t, id(&t, 1, 0), InPort::FromW1, 1, id(&t, 1, 3));
+        assert_eq!(d.dir, OutDir::S);
+        assert_eq!(d.vc, 0);
+    }
+
+    #[test]
+    fn torus_tie_goes_positive() {
+        let t = topo(8, 8, NocTopology::FoldedTorus, None);
+        // distance 4 both ways on an 8-ring: go east
+        let d = decide(&t, id(&t, 0, 0), InPort::Inject, 0, id(&t, 4, 0));
+        assert_eq!(d.dir, OutDir::E);
+    }
+
+    #[test]
+    fn ruche_taken_for_long_straight_runs() {
+        let t = topo(16, 16, NocTopology::Mesh, Some(4));
+        let d = decide(&t, id(&t, 0, 0), InPort::Inject, 0, id(&t, 9, 0));
+        assert_eq!(d.dir, OutDir::RucheE);
+        // 3 hops remaining: regular link
+        let d = decide(&t, id(&t, 6, 0), InPort::FromRucheW, 0, id(&t, 9, 0));
+        assert_eq!(d.dir, OutDir::E);
+        // ruche never leaves the grid: at x=13, 4-hop link would exceed 15
+        let d = decide(&t, id(&t, 13, 0), InPort::Inject, 0, id(&t, 15, 0));
+        assert_eq!(d.dir, OutDir::E);
+    }
+
+    #[test]
+    fn ruche_vertical() {
+        let t = topo(16, 16, NocTopology::Mesh, Some(4));
+        let d = decide(&t, id(&t, 3, 12), InPort::Inject, 0, id(&t, 3, 2));
+        assert_eq!(d.dir, OutDir::RucheN);
+        let d = decide(&t, id(&t, 3, 2), InPort::Inject, 0, id(&t, 3, 12));
+        assert_eq!(d.dir, OutDir::RucheS);
+    }
+
+    #[test]
+    fn signed_delta_mesh_vs_torus() {
+        assert_eq!(signed_delta(7, 1, 8, false), -6);
+        assert_eq!(signed_delta(7, 1, 8, true), 2);
+        assert_eq!(signed_delta(1, 7, 8, true), -2);
+        assert_eq!(signed_delta(0, 4, 8, true), 4); // tie -> positive
+        assert_eq!(signed_delta(3, 3, 8, true), 0);
+    }
+
+    #[test]
+    fn route_always_makes_progress_mesh() {
+        let t = topo(6, 5, NocTopology::Mesh, None);
+        for src in 0..30u32 {
+            for dst in 0..30u32 {
+                let mut cur = src;
+                let mut port = InPort::Inject;
+                let mut vc = 0u8;
+                let mut hops = 0;
+                while cur != dst {
+                    let d = decide(&t, cur, port, vc, dst);
+                    assert_ne!(d.dir, OutDir::Eject);
+                    let (n, p) = t.neighbor(cur, d.dir, d.vc).expect("valid hop");
+                    cur = n;
+                    port = p;
+                    vc = d.vc;
+                    hops += 1;
+                    assert!(hops <= 10, "routing loop from {src} to {dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_always_makes_progress_torus_with_wrap() {
+        let t = topo(6, 6, NocTopology::FoldedTorus, None);
+        for src in 0..36u32 {
+            for dst in 0..36u32 {
+                let mut cur = src;
+                let mut port = InPort::Inject;
+                let mut vc = 0u8;
+                let mut hops = 0;
+                while cur != dst {
+                    let d = decide(&t, cur, port, vc, dst);
+                    let (n, p) = t.neighbor(cur, d.dir, d.vc).expect("valid hop");
+                    cur = n;
+                    port = p;
+                    vc = d.vc;
+                    hops += 1;
+                    assert!(hops <= 6, "torus route too long from {src} to {dst}");
+                }
+            }
+        }
+    }
+}

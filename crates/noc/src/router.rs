@@ -1,0 +1,100 @@
+//! Per-router state: input queues, arbitration pointers, link occupancy.
+
+use crate::packet::Packet;
+use crate::port::{IN_PORTS, OUT_DIRS};
+use std::collections::VecDeque;
+
+/// The mutable state of one router.
+///
+/// Queues are FIFOs; capacity accounting (in flits) lives in the shared
+/// occupancy table so that upstream routers in other shards can reserve
+/// space without touching the queue itself.
+#[derive(Debug, Default)]
+pub struct RouterState {
+    /// One FIFO per input port.
+    pub queues: [VecDeque<Packet>; IN_PORTS],
+    /// Round-robin arbitration pointer per output direction.
+    pub rr_ptr: [u8; OUT_DIRS],
+    /// Cycle until which each output link is busy serializing flits.
+    pub busy_until: [u64; OUT_DIRS],
+    /// Packets currently queued in this router (cheap emptiness check).
+    pub queued_msgs: u32,
+}
+
+impl RouterState {
+    /// Whether any packet is queued here.
+    pub fn has_traffic(&self) -> bool {
+        self.queued_msgs > 0
+    }
+
+    /// Pushes a packet into input queue `port`, combining with a queued
+    /// reducible packet when possible.
+    ///
+    /// Returns the flits freed by combining (0 if simply enqueued).
+    pub fn push(&mut self, port: usize, pkt: Packet) -> u32 {
+        if pkt.reduce.is_some() {
+            for queued in self.queues[port].iter_mut() {
+                if queued.can_combine(&pkt) {
+                    queued.combine(&pkt);
+                    return pkt.flits as u32;
+                }
+            }
+        }
+        self.queued_msgs += 1;
+        self.queues[port].push_back(pkt);
+        0
+    }
+
+    /// Pops the head of input queue `port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty.
+    pub fn pop(&mut self, port: usize) -> Packet {
+        self.queued_msgs -= 1;
+        self.queues[port]
+            .pop_front()
+            .expect("pop from empty router queue")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Payload, ReduceOp};
+
+    fn pkt(dst: u32, key: u32, val: u32) -> Packet {
+        Packet::unicast(0, dst, 1, Payload::from_slice(&[key, val]), 2)
+            .with_reduce(ReduceOp::MinU32)
+    }
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut r = RouterState::default();
+        r.push(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[1]), 1));
+        r.push(0, Packet::unicast(0, 2, 0, Payload::from_slice(&[2]), 1));
+        assert_eq!(r.queued_msgs, 2);
+        assert_eq!(r.pop(0).dst, 1);
+        assert_eq!(r.pop(0).dst, 2);
+        assert!(!r.has_traffic());
+    }
+
+    #[test]
+    fn push_combines_reducible_packets() {
+        let mut r = RouterState::default();
+        assert_eq!(r.push(0, pkt(9, 7, 10)), 0);
+        let freed = r.push(0, pkt(9, 7, 4));
+        assert_eq!(freed, 2, "combined packet frees its flits");
+        assert_eq!(r.queued_msgs, 1);
+        let head = r.pop(0);
+        assert_eq!(head.payload.word(1), 4);
+    }
+
+    #[test]
+    fn push_does_not_combine_across_keys() {
+        let mut r = RouterState::default();
+        r.push(0, pkt(9, 7, 10));
+        assert_eq!(r.push(0, pkt(9, 8, 4)), 0);
+        assert_eq!(r.queued_msgs, 2);
+    }
+}

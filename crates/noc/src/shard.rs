@@ -1,0 +1,332 @@
+//! Column shards: the unit of host-thread parallelism.
+//!
+//! The simulator parallelizes over *columns* of the tile grid (paper
+//! §III-C); each shard owns the routers of a contiguous column range.
+//! Packets crossing a shard boundary travel through single-producer
+//! mailboxes and buffer space is reserved through a shared atomic
+//! occupancy table, so stepping shards concurrently is bit-identical to
+//! stepping them sequentially: every queue has exactly one upstream
+//! router, freed buffer space becomes visible at the next cycle boundary
+//! in both modes, and packets never move in the cycle they arrive.
+
+use crate::counters::{class_index, NocCounters};
+use crate::network::{EjectSink, SharedNet};
+use crate::packet::Packet;
+use crate::port::{InPort, OutDir, IN_PORTS};
+use crate::route;
+use crate::router::RouterState;
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Reserves `flits` of space in a queue with capacity `cap`.
+///
+/// A single oversized message (larger than the whole buffer) is allowed
+/// when the queue is empty, so it can still make progress.
+fn reserve(occ: &AtomicU32, flits: u32, cap: u32) -> bool {
+    occ.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        if v == 0 || v + flits <= cap {
+            Some(v + flits)
+        } else {
+            None
+        }
+    })
+    .is_ok()
+}
+
+/// One column shard of the network.
+#[derive(Debug)]
+pub struct Shard {
+    idx: usize,
+    cols: Range<u32>,
+    routers: Vec<RouterState>,
+    counters: NocCounters,
+    busy_frame: Vec<u32>,
+    /// Pushes into this shard's own queues, applied at the next cycle
+    /// boundary (mirrors the mailbox delay of cross-shard pushes).
+    pending_pushes: Vec<(usize, usize, Packet)>,
+    /// Occupancy decrements from this cycle's pops, applied at the next
+    /// cycle boundary (credit-return delay; keeps parallel == sequential).
+    pending_frees: Vec<(usize, u32)>,
+}
+
+impl Shard {
+    pub(crate) fn new(idx: usize, cols: Range<u32>, height: u32) -> Self {
+        let n = (cols.end - cols.start) as usize * height as usize;
+        Shard {
+            idx,
+            cols,
+            routers: (0..n).map(|_| RouterState::default()).collect(),
+            counters: NocCounters::default(),
+            busy_frame: vec![0; n],
+            pending_pushes: Vec::new(),
+            pending_frees: Vec::new(),
+        }
+    }
+
+    /// The column range this shard owns.
+    pub fn cols(&self) -> Range<u32> {
+        self.cols.clone()
+    }
+
+    /// Shard index.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Cumulative counters of this shard.
+    pub fn counters(&self) -> &NocCounters {
+        &self.counters
+    }
+
+    fn local_idx(&self, tile: u32, width: u32) -> usize {
+        let x = tile % width;
+        let y = tile / width;
+        debug_assert!(self.cols.contains(&x), "tile {tile} not in shard {}", self.idx);
+        (y * (self.cols.end - self.cols.start) + (x - self.cols.start)) as usize
+    }
+
+    fn global_tile(&self, local: usize, width: u32) -> u32 {
+        let ncols = (self.cols.end - self.cols.start) as usize;
+        let y = (local / ncols) as u32;
+        let x = self.cols.start + (local % ncols) as u32;
+        y * width + x
+    }
+
+    /// Whether all queues and pending buffers of this shard are empty.
+    pub fn is_drained(&self) -> bool {
+        self.pending_pushes.is_empty() && self.routers.iter().all(|r| !r.has_traffic())
+    }
+
+    /// Packets currently queued (including pending pushes).
+    pub fn queued_packets(&self) -> u64 {
+        self.pending_pushes.len() as u64
+            + self.routers.iter().map(|r| r.queued_msgs as u64).sum::<u64>()
+    }
+
+    /// Injects a packet at `tile`'s local inject queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the inject queue is full (the caller's
+    /// channel queue keeps it and retries later).
+    pub fn inject(&mut self, shared: &SharedNet, tile: u32, pkt: Packet) -> Result<(), Packet> {
+        let width = shared.topo.width;
+        let qid = shared.topo.queue_id(tile, InPort::Inject);
+        if !reserve(
+            &shared.occupancy[qid],
+            pkt.flits as u32,
+            shared.inject_capacity_flits,
+        ) {
+            return Err(pkt);
+        }
+        let local = self.local_idx(tile, width);
+        let freed = self.routers[local].push(InPort::Inject.index(), pkt);
+        if freed > 0 {
+            shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
+            self.counters.reduce_combines += 1;
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+        self.counters.injected += 1;
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Applies deferred frees, deferred local pushes, and drains incoming
+    /// mailboxes. Must run for every shard (with a barrier in parallel
+    /// mode) before any shard's [`Shard::step`] for the same cycle.
+    pub fn begin_cycle(&mut self, shared: &SharedNet) {
+        for (qid, flits) in self.pending_frees.drain(..) {
+            shared.occupancy[qid].fetch_sub(flits, Ordering::Relaxed);
+        }
+        let width = shared.topo.width;
+        let pushes = std::mem::take(&mut self.pending_pushes);
+        for (local, port, pkt) in pushes {
+            let tile = self.global_tile(local, width);
+            let qid = shared.topo.queue_id(tile, InPort::ALL[port]);
+            let freed = self.routers[local].push(port, pkt);
+            if freed > 0 {
+                shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
+                self.counters.reduce_combines += 1;
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        for producer in 0..shared.num_shards() {
+            if producer == self.idx {
+                continue;
+            }
+            let mut inbox = shared.mailbox(self.idx, producer).lock();
+            for (tile, port, pkt) in inbox.drain(..) {
+                let local = self.local_idx(tile, width);
+                let qid = shared.topo.queue_id(tile, port);
+                let freed = self.routers[local].push(port.index(), pkt);
+                if freed > 0 {
+                    shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
+                    self.counters.reduce_combines += 1;
+                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                }
+            }
+        }
+    }
+
+    /// Advances every router in this shard by one NoC cycle.
+    pub fn step(&mut self, shared: &SharedNet, cycle: u64, sink: &mut dyn EjectSink) {
+        let topo = &shared.topo;
+        let width = topo.width;
+        for local in 0..self.routers.len() {
+            if !self.routers[local].has_traffic() {
+                continue;
+            }
+            let tile = self.global_tile(local, width);
+            // Compute each ready head's routing decision once.
+            let mut decisions: [Option<route::RouteDecision>; IN_PORTS] = [None; IN_PORTS];
+            for port in 0..IN_PORTS {
+                if let Some(head) = self.routers[local].queues[port].front() {
+                    if head.ready_at <= cycle {
+                        decisions[port] =
+                            Some(route::decide(topo, tile, InPort::ALL[port], head.vc, head.dst));
+                    }
+                }
+            }
+            let mut moved = false;
+            for out in OutDir::ALL {
+                let oi = out.index();
+                let mut candidates: [usize; IN_PORTS] = [0; IN_PORTS];
+                let mut n_cand = 0;
+                for (port, dec) in decisions.iter().enumerate() {
+                    if dec.map(|d| d.dir) == Some(out) {
+                        candidates[n_cand] = port;
+                        n_cand += 1;
+                    }
+                }
+                if n_cand == 0 {
+                    continue;
+                }
+                if self.routers[local].busy_until[oi] > cycle {
+                    continue; // link still serializing a previous message
+                }
+                self.counters.collisions += (n_cand - 1) as u64;
+                let pick = Self::round_robin_pick(
+                    &candidates[..n_cand],
+                    self.routers[local].rr_ptr[oi],
+                );
+                self.routers[local].rr_ptr[oi] = pick as u8;
+                if out == OutDir::Eject {
+                    let pkt = self.routers[local].pop(pick);
+                    let flits = pkt.flits;
+                    match sink.offer(tile, pkt) {
+                        Ok(()) => {
+                            self.pending_frees
+                                .push((topo.queue_id(tile, InPort::ALL[pick]), flits as u32));
+                            self.routers[local].busy_until[oi] = cycle + flits as u64;
+                            self.counters.ejected += 1;
+                            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                            moved = true;
+                        }
+                        Err(pkt) => {
+                            // refused: restore head position
+                            self.routers[local].queues[pick].push_front(pkt);
+                            self.routers[local].queued_msgs += 1;
+                            self.counters.eject_stalls += 1;
+                        }
+                    }
+                    continue;
+                }
+                let vc = decisions[pick].expect("candidate has decision").vc;
+                let (dest, in_port) = topo
+                    .neighbor(tile, out, vc)
+                    .expect("routing chose a non-existent link");
+                let qid = topo.queue_id(dest, in_port);
+                let flits = self.routers[local].queues[pick]
+                    .front()
+                    .expect("candidate has head")
+                    .flits as u32;
+                if !reserve(&shared.occupancy[qid], flits, topo.queue_capacity_flits) {
+                    self.counters.backpressure += 1;
+                    continue;
+                }
+                let mut pkt = self.routers[local].pop(pick);
+                self.pending_frees
+                    .push((topo.queue_id(tile, InPort::ALL[pick]), flits));
+                pkt.vc = vc;
+                let hop = topo.hop_cycles(tile, out, vc).expect("link exists");
+                pkt.ready_at = cycle + hop + (flits as u64 - 1);
+                self.routers[local].busy_until[oi] = cycle + flits as u64;
+                let class = topo.link_class(tile, out, vc).expect("link exists");
+                self.counters.msg_hops += 1;
+                self.counters.flit_hops_by_class[class_index(class)] += flits as u64;
+                if class == muchisim_config::LinkClass::OnChip {
+                    self.counters.onchip_flit_mm += flits as f64 * topo.hop_wire_mm(out);
+                }
+                let dest_shard = shared.shard_of_col[(dest % width) as usize] as usize;
+                if dest_shard == self.idx {
+                    let dlocal = self.local_idx(dest, width);
+                    self.pending_pushes.push((dlocal, in_port.index(), pkt));
+                } else {
+                    shared
+                        .mailbox(dest_shard, self.idx)
+                        .lock()
+                        .push((dest, in_port, pkt));
+                }
+                moved = true;
+            }
+            if moved {
+                self.busy_frame[local] += 1;
+            }
+        }
+    }
+
+    fn round_robin_pick(candidates: &[usize], last: u8) -> usize {
+        // first candidate strictly after `last`, cyclically
+        *candidates
+            .iter()
+            .find(|&&c| c > last as usize)
+            .unwrap_or(&candidates[0])
+    }
+
+    /// Adds this shard's per-router busy-cycle counts into the global
+    /// `grid` (indexed by tile id) and resets them (one statistics frame).
+    pub fn take_busy(&mut self, grid: &mut [u32], width: u32) {
+        for local in 0..self.busy_frame.len() {
+            if self.busy_frame[local] > 0 {
+                let tile = self.global_tile(local, width);
+                grid[tile as usize] += self.busy_frame[local];
+                self.busy_frame[local] = 0;
+            }
+        }
+    }
+
+    /// Per-queue occupancy of task-type `_task` packets, for verbosity V3
+    /// inspection: total packets queued at `tile`.
+    pub fn queued_at(&self, tile: u32, width: u32) -> u32 {
+        self.routers[self.local_idx(tile, width)].queued_msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_wraps() {
+        assert_eq!(Shard::round_robin_pick(&[0, 3, 7], 0), 3);
+        assert_eq!(Shard::round_robin_pick(&[0, 3, 7], 7), 0);
+        assert_eq!(Shard::round_robin_pick(&[0, 3, 7], 12), 0);
+        assert_eq!(Shard::round_robin_pick(&[5], 5), 5);
+    }
+
+    #[test]
+    fn reserve_respects_capacity() {
+        let occ = AtomicU32::new(0);
+        assert!(reserve(&occ, 3, 4));
+        assert!(!reserve(&occ, 2, 4));
+        assert!(reserve(&occ, 1, 4));
+        assert_eq!(occ.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn reserve_allows_oversized_when_empty() {
+        let occ = AtomicU32::new(0);
+        assert!(reserve(&occ, 10, 4));
+        assert!(!reserve(&occ, 1, 4));
+    }
+}

@@ -1,0 +1,326 @@
+//! Static topology information shared by all routers.
+
+use crate::port::{InPort, OutDir, IN_PORTS};
+use muchisim_config::{Hierarchy, LinkClass, NocTopology, SystemConfig, TileCoord};
+
+/// Immutable topology data derived from a [`SystemConfig`]: grid shape,
+/// link classes, and per-hop latencies in NoC cycles.
+#[derive(Debug, Clone)]
+pub struct TopoInfo {
+    /// Grid width in tiles.
+    pub width: u32,
+    /// Grid height in tiles.
+    pub height: u32,
+    /// NoC topology.
+    pub topology: NocTopology,
+    /// Ruche link length in hops, if Ruche channels are configured.
+    pub ruche_factor: Option<u32>,
+    /// The tile hierarchy for link classification.
+    pub hierarchy: Hierarchy,
+    /// Estimated tile pitch in mm (side of a tile), used for wire length.
+    pub tile_pitch_mm: f64,
+    /// Base on-chip hop latency in NoC cycles (router + one tile of wire).
+    pub hop_cycles_on_chip: u64,
+    /// Extra cycles for a die-to-die crossing.
+    pub extra_cycles_d2d: u64,
+    /// Extra cycles for an off-package crossing.
+    pub extra_cycles_off_package: u64,
+    /// Extra cycles for an inter-node crossing.
+    pub extra_cycles_inter_node: u64,
+    /// Buffer capacity per input queue, in flits.
+    pub queue_capacity_flits: u32,
+}
+
+impl TopoInfo {
+    /// Derives the topology info from a system configuration.
+    pub fn from_system(cfg: &SystemConfig) -> Self {
+        let pitch = estimate_tile_pitch_mm(cfg);
+        let link = &cfg.params.link;
+        let period = cfg.noc_clock.operating.period_ps();
+        let hop_ps = link.noc_router_latency_ps + link.noc_wire_latency_ps_per_mm * pitch;
+        let hop_cycles = (hop_ps / period).ceil().max(1.0) as u64;
+        TopoInfo {
+            width: cfg.width(),
+            height: cfg.height(),
+            topology: cfg.noc.topology,
+            ruche_factor: cfg.noc.ruche_factor,
+            hierarchy: cfg.hierarchy,
+            tile_pitch_mm: pitch,
+            hop_cycles_on_chip: hop_cycles,
+            extra_cycles_d2d: cfg.hop_extra_cycles(LinkClass::DieToDie),
+            extra_cycles_off_package: cfg.hop_extra_cycles(LinkClass::OffPackage),
+            extra_cycles_inter_node: cfg.hop_extra_cycles(LinkClass::InterNode),
+            queue_capacity_flits: cfg.noc.buffer_depth,
+        }
+    }
+
+    /// Total routers (= tiles).
+    pub fn num_tiles(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Coordinates of tile `id`.
+    pub fn coords(&self, id: u32) -> (u32, u32) {
+        (id % self.width, id / self.width)
+    }
+
+    /// Tile id at `(x, y)`.
+    pub fn tile_at(&self, x: u32, y: u32) -> u32 {
+        y * self.width + x
+    }
+
+    /// Column of tile `id` (used for shard assignment).
+    pub fn col_of(&self, id: u32) -> u32 {
+        id % self.width
+    }
+
+    /// The neighbor reached from `cur` via `dir` on virtual channel `vc`,
+    /// with the input port the packet arrives on, or `None` if the link
+    /// does not exist (mesh edge, or Ruche link leaving the grid).
+    pub fn neighbor(&self, cur: u32, dir: OutDir, vc: u8) -> Option<(u32, InPort)> {
+        let (x, y) = self.coords(cur);
+        let torus = self.topology == NocTopology::FoldedTorus;
+        let r = self.ruche_factor.unwrap_or(0);
+        let dest = match dir {
+            OutDir::N => {
+                if y > 0 {
+                    Some((x, y - 1))
+                } else if torus {
+                    Some((x, self.height - 1))
+                } else {
+                    None
+                }
+            }
+            OutDir::S => {
+                if y + 1 < self.height {
+                    Some((x, y + 1))
+                } else if torus {
+                    Some((x, 0))
+                } else {
+                    None
+                }
+            }
+            OutDir::E => {
+                if x + 1 < self.width {
+                    Some((x + 1, y))
+                } else if torus {
+                    Some((0, y))
+                } else {
+                    None
+                }
+            }
+            OutDir::W => {
+                if x > 0 {
+                    Some((x - 1, y))
+                } else if torus {
+                    Some((self.width - 1, y))
+                } else {
+                    None
+                }
+            }
+            OutDir::RucheN => (r > 0 && y >= r).then(|| (x, y - r)),
+            OutDir::RucheS => (r > 0 && y + r < self.height).then(|| (x, y + r)),
+            OutDir::RucheE => (r > 0 && x + r < self.width).then(|| (x + r, y)),
+            OutDir::RucheW => (r > 0 && x >= r).then(|| (x - r, y)),
+            OutDir::Eject => None,
+        }?;
+        Some((
+            self.tile_at(dest.0, dest.1),
+            InPort::arrival_port(dir, vc),
+        ))
+    }
+
+    /// The physical link class crossed by hopping from `cur` via `dir`.
+    pub fn link_class(&self, cur: u32, dir: OutDir, vc: u8) -> Option<LinkClass> {
+        let (dest, _) = self.neighbor(cur, dir, vc)?;
+        let (cx, cy) = self.coords(cur);
+        let (dx, dy) = self.coords(dest);
+        Some(
+            self.hierarchy
+                .link_class(TileCoord::new(cx, cy), TileCoord::new(dx, dy)),
+        )
+    }
+
+    /// Total hop latency in NoC cycles for the head flit from `cur` via
+    /// `dir` (router traversal + wire + any boundary-crossing extra).
+    pub fn hop_cycles(&self, cur: u32, dir: OutDir, vc: u8) -> Option<u64> {
+        let class = self.link_class(cur, dir, vc)?;
+        let extra = match class {
+            LinkClass::OnChip => 0,
+            LinkClass::DieToDie => self.extra_cycles_d2d,
+            LinkClass::OffPackage => self.extra_cycles_off_package,
+            LinkClass::InterNode => self.extra_cycles_inter_node,
+        };
+        let ruche_extra = if dir.is_ruche() {
+            // the long wire costs proportionally more wire delay
+            (self.ruche_factor.unwrap_or(1) as u64).saturating_sub(1)
+                * (self.hop_cycles_on_chip / 2)
+        } else {
+            0
+        };
+        Some(self.hop_cycles_on_chip + extra + ruche_extra)
+    }
+
+    /// Wire length in mm of the hop (for on-chip wire energy).
+    pub fn hop_wire_mm(&self, dir: OutDir) -> f64 {
+        if dir.is_ruche() {
+            self.ruche_factor.unwrap_or(1) as f64 * self.tile_pitch_mm
+        } else {
+            self.tile_pitch_mm
+        }
+    }
+
+    /// Global input-queue id for `(tile, port)`.
+    pub fn queue_id(&self, tile: u32, port: InPort) -> usize {
+        tile as usize * IN_PORTS + port.index()
+    }
+
+    /// Total input queues in the network.
+    pub fn num_queues(&self) -> usize {
+        self.num_tiles() as usize * IN_PORTS
+    }
+}
+
+/// Rough tile pitch from the area parameters: PU + TSU + router + SRAM
+/// plus 10 % wiring overhead. (The energy crate owns the authoritative
+/// area model; this local estimate only feeds wire-length latency/energy.)
+fn estimate_tile_pitch_mm(cfg: &SystemConfig) -> f64 {
+    let p = &cfg.params.pu;
+    let sram_mm2 =
+        cfg.sram_kib_per_tile as f64 / 1024.0 / cfg.params.sram.density_mb_per_mm2;
+    let peak_ghz = cfg.pu_clock.peak.as_ghz();
+    let freq_growth = 1.0 + p.area_growth_per_freq * (peak_ghz - 1.0).max(0.0);
+    let pu_mm2 = p.area_mm2 * cfg.pus_per_tile as f64 * freq_growth;
+    let router_mm2 = (p.router_base_area_mm2
+        + p.router_area_mm2_per_bit * cfg.noc.width_bits as f64)
+        * cfg.noc.num_physical as f64;
+    let tile_mm2 = (pu_mm2 + p.tsu_area_mm2 + router_mm2 + sram_mm2) * 1.1;
+    tile_mm2.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muchisim_config::SystemConfig;
+
+    fn mesh_8x8() -> TopoInfo {
+        TopoInfo::from_system(
+            &SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap(),
+        )
+    }
+
+    #[test]
+    fn neighbors_mesh_interior() {
+        let t = mesh_8x8();
+        let c = t.tile_at(3, 3);
+        assert_eq!(t.neighbor(c, OutDir::N, 0), Some((t.tile_at(3, 2), InPort::FromS0)));
+        assert_eq!(t.neighbor(c, OutDir::S, 0), Some((t.tile_at(3, 4), InPort::FromN0)));
+        assert_eq!(t.neighbor(c, OutDir::E, 0), Some((t.tile_at(4, 3), InPort::FromW0)));
+        assert_eq!(t.neighbor(c, OutDir::W, 0), Some((t.tile_at(2, 3), InPort::FromE0)));
+    }
+
+    #[test]
+    fn mesh_edges_have_no_links() {
+        let t = mesh_8x8();
+        assert_eq!(t.neighbor(t.tile_at(0, 0), OutDir::N, 0), None);
+        assert_eq!(t.neighbor(t.tile_at(0, 0), OutDir::W, 0), None);
+        assert_eq!(t.neighbor(t.tile_at(7, 7), OutDir::S, 0), None);
+        assert_eq!(t.neighbor(t.tile_at(7, 7), OutDir::E, 0), None);
+    }
+
+    #[test]
+    fn torus_wraps() {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(8, 8)
+            .noc_topology(muchisim_config::NocTopology::FoldedTorus)
+            .build()
+            .unwrap();
+        let t = TopoInfo::from_system(&cfg);
+        assert_eq!(
+            t.neighbor(t.tile_at(7, 0), OutDir::E, 1),
+            Some((t.tile_at(0, 0), InPort::FromW1))
+        );
+        assert_eq!(
+            t.neighbor(t.tile_at(0, 0), OutDir::N, 0),
+            Some((t.tile_at(0, 7), InPort::FromS0))
+        );
+    }
+
+    #[test]
+    fn ruche_links() {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(16, 16)
+            .ruche_factor(4)
+            .build()
+            .unwrap();
+        let t = TopoInfo::from_system(&cfg);
+        assert_eq!(
+            t.neighbor(t.tile_at(2, 0), OutDir::RucheE, 0),
+            Some((t.tile_at(6, 0), InPort::FromRucheW))
+        );
+        // ruche never wraps
+        assert_eq!(t.neighbor(t.tile_at(13, 0), OutDir::RucheE, 0), None);
+        assert_eq!(t.neighbor(t.tile_at(2, 0), OutDir::RucheW, 0), None);
+    }
+
+    #[test]
+    fn link_class_chiplet_boundary() {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(4, 4)
+            .package_chiplets(2, 1)
+            .build()
+            .unwrap();
+        let t = TopoInfo::from_system(&cfg);
+        assert_eq!(
+            t.link_class(t.tile_at(3, 0), OutDir::E, 0),
+            Some(LinkClass::DieToDie)
+        );
+        assert_eq!(
+            t.link_class(t.tile_at(2, 0), OutDir::E, 0),
+            Some(LinkClass::OnChip)
+        );
+    }
+
+    #[test]
+    fn hop_cycles_d2d_exceeds_on_chip() {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(4, 4)
+            .package_chiplets(2, 1)
+            .build()
+            .unwrap();
+        let t = TopoInfo::from_system(&cfg);
+        let on = t.hop_cycles(t.tile_at(2, 0), OutDir::E, 0).unwrap();
+        let d2d = t.hop_cycles(t.tile_at(3, 0), OutDir::E, 0).unwrap();
+        assert!(on >= 1);
+        assert!(d2d > on);
+    }
+
+    #[test]
+    fn pitch_is_sub_millimeter_for_default_tile() {
+        let t = mesh_8x8();
+        assert!(t.tile_pitch_mm > 0.1 && t.tile_pitch_mm < 1.0, "{}", t.tile_pitch_mm);
+    }
+
+    #[test]
+    fn queue_ids_dense_and_unique() {
+        let t = mesh_8x8();
+        let mut seen = vec![false; t.num_queues()];
+        for tile in 0..t.num_tiles() {
+            for p in InPort::ALL {
+                let q = t.queue_id(tile, p);
+                assert!(!seen[q]);
+                seen[q] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let t = mesh_8x8();
+        for id in 0..64 {
+            let (x, y) = t.coords(id);
+            assert_eq!(t.tile_at(x, y), id);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Property-based tests on the NoC's global invariants: every injected
+//! packet is delivered exactly once with its payload intact, on any
+//! topology, under any shard split, and the conservation law
+//! `injected == ejected + combined` holds.
+
+use muchisim_config::{NocTopology, SystemConfig};
+use muchisim_noc::{DrainSink, Network, NetworkParams, Packet, Payload, ReduceOp};
+use proptest::prelude::*;
+
+fn build(w: u32, h: u32, topo: NocTopology, buffer: u32, shards: usize) -> Network {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(w, h)
+        .noc_topology(topo)
+        .buffer_depth(buffer)
+        .build()
+        .unwrap();
+    Network::new(NetworkParams::from_system(&cfg), shards)
+}
+
+/// Drives injections (retrying on backpressure) until the plane drains.
+fn run_traffic(
+    net: &mut Network,
+    mut pending: Vec<(u32, Packet)>,
+    limit: u64,
+) -> (Vec<(u32, Packet)>, u64) {
+    let mut sink = DrainSink::default();
+    let mut cycle = 0u64;
+    while !pending.is_empty() || !net.is_empty() {
+        pending.retain_mut(|(src, pkt)| {
+            let p = std::mem::replace(pkt, Packet::unicast(0, 0, 0, Payload::empty(), 1));
+            match net.inject(*src, p.ready_at(cycle)) {
+                Ok(()) => false,
+                Err(back) => {
+                    *pkt = back;
+                    true
+                }
+            }
+        });
+        net.step(cycle, &mut sink);
+        cycle += 1;
+        assert!(cycle < limit, "network failed to drain within {limit} cycles");
+    }
+    (sink.drained, cycle)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_exactly_once_delivery(
+        seed in 0u64..10_000,
+        topo_torus in any::<bool>(),
+        buffer in 1u32..6,
+        shards in 1usize..5,
+        n_msgs in 1usize..120,
+    ) {
+        let (w, h) = (6u32, 5u32);
+        let topo = if topo_torus { NocTopology::FoldedTorus } else { NocTopology::Mesh };
+        let mut net = build(w, h, topo, buffer, shards);
+        let tiles = w * h;
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut sent = Vec::new();
+        let mut pending = Vec::new();
+        for i in 0..n_msgs {
+            let src = next() % tiles;
+            let dst = next() % tiles;
+            let tag = i as u32;
+            sent.push((dst, tag));
+            pending.push((
+                src,
+                Packet::unicast(src, dst, 0, Payload::from_slice(&[tag, src]), 1 + (next() % 3) as u16),
+            ));
+        }
+        let (drained, _) = run_traffic(&mut net, pending, 200_000);
+        // exactly once, payload intact, correct tile
+        let mut got: Vec<(u32, u32)> =
+            drained.iter().map(|(t, p)| (*t, p.payload.word(0))).collect();
+        got.sort_unstable();
+        sent.sort_unstable();
+        prop_assert_eq!(got, sent);
+        // conservation
+        let c = net.counters();
+        prop_assert_eq!(c.injected, n_msgs as u64);
+        prop_assert_eq!(c.ejected + c.reduce_combines, n_msgs as u64);
+        prop_assert!(net.in_flight() == 0);
+    }
+
+    #[test]
+    fn prop_reduction_conserves_value(
+        seed in 0u64..10_000,
+        n_msgs in 2usize..80,
+    ) {
+        // all messages reduce (SumU32) toward one key on one tile: the
+        // delivered total must equal the sum of all sent values no matter
+        // how many combined in flight
+        let mut net = build(6, 6, NocTopology::Mesh, 2, 3);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            (state >> 33) as u32
+        };
+        let mut pending = Vec::new();
+        let mut total = 0u64;
+        for _ in 0..n_msgs {
+            let src = next() % 36;
+            let val = next() % 1000;
+            total += val as u64;
+            pending.push((
+                src,
+                Packet::unicast(src, 35, 1, Payload::from_slice(&[7, val]), 2)
+                    .with_reduce(ReduceOp::SumU32),
+            ));
+        }
+        let (drained, _) = run_traffic(&mut net, pending, 200_000);
+        let delivered: u64 = drained.iter().map(|(_, p)| p.payload.word(1) as u64).sum();
+        prop_assert_eq!(delivered, total);
+        let c = net.counters();
+        prop_assert_eq!(c.ejected + c.reduce_combines, n_msgs as u64);
+    }
+
+    #[test]
+    fn prop_shard_count_invariant_timing(
+        seed in 0u64..1_000,
+        topo_torus in any::<bool>(),
+    ) {
+        // identical traffic must drain in the identical cycle count for
+        // any shard split
+        let topo = if topo_torus { NocTopology::FoldedTorus } else { NocTopology::Mesh };
+        let mk_traffic = || {
+            let mut v = Vec::new();
+            let mut s = seed.wrapping_add(3);
+            for i in 0..60u32 {
+                s = s.wrapping_mul(48271) % 0x7FFF_FFFF;
+                let src = (s as u32) % 30;
+                let dst = (s as u32 >> 7) % 30;
+                v.push((src, Packet::unicast(src, dst, 0, Payload::from_slice(&[i]), 2)));
+            }
+            v
+        };
+        let mut cycles = Vec::new();
+        for shards in [1usize, 2, 5] {
+            let mut net = build(6, 5, topo, 3, shards);
+            let (_, c) = run_traffic(&mut net, mk_traffic(), 100_000);
+            cycles.push(c);
+        }
+        prop_assert_eq!(cycles[0], cycles[1]);
+        prop_assert_eq!(cycles[0], cycles[2]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Multi-run comparison tables (the CLI plotting tool, paper §III-F):
+//! metrics for combinations of DUT configurations, applications and
+//! datasets, absolute or normalized to a baseline.
+
+use muchisim_core::SimResult;
+use muchisim_energy::Report;
+use serde::{Deserialize, Serialize};
+
+/// The metrics of one evaluation (one config + app + dataset run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRow {
+    /// Configuration label (e.g., "32T/Ch 256KiB").
+    pub config: String,
+    /// Application label (e.g., "BFS").
+    pub app: String,
+    /// Dataset label (e.g., "RMAT-12").
+    pub dataset: String,
+    /// DUT runtime in seconds.
+    pub runtime_secs: f64,
+    /// FLOP/s.
+    pub flops: f64,
+    /// TEPS-style application throughput.
+    pub app_throughput: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Average power in watts.
+    pub power_w: f64,
+    /// System cost in USD.
+    pub cost_usd: f64,
+    /// FLOP/s per watt.
+    pub flops_per_watt: f64,
+    /// FLOP/s per dollar.
+    pub flops_per_dollar: f64,
+    /// Total NoC traffic in message hops.
+    pub msg_hops: u64,
+    /// Cache hit rate.
+    pub hit_rate: f64,
+    /// Host (simulator) seconds.
+    pub sim_secs: f64,
+}
+
+impl ReportRow {
+    /// Builds a row from a simulation result and its energy report.
+    pub fn new(
+        config: impl Into<String>,
+        app: impl Into<String>,
+        dataset: impl Into<String>,
+        result: &SimResult,
+        report: &Report,
+    ) -> Self {
+        ReportRow {
+            config: config.into(),
+            app: app.into(),
+            dataset: dataset.into(),
+            runtime_secs: result.runtime.as_secs(),
+            flops: report.flops,
+            app_throughput: report.app_throughput,
+            energy_j: report.energy.total_pj() * 1e-12,
+            power_w: report.average_power_w,
+            cost_usd: report.cost.total_usd,
+            flops_per_watt: report.flops_per_watt,
+            flops_per_dollar: report.flops_per_dollar,
+            msg_hops: result.counters.noc.msg_hops,
+            hit_rate: result.counters.mem.hit_rate(),
+            sim_secs: result.host_seconds,
+        }
+    }
+}
+
+/// A collection of evaluation rows with table / CSV / normalization
+/// helpers.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReportTable {
+    /// The rows, in insertion order.
+    pub rows: Vec<ReportRow>,
+}
+
+impl ReportTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ReportTable::default()
+    }
+
+    /// Appends a row.
+    pub fn push(&mut self, row: ReportRow) {
+        self.rows.push(row);
+    }
+
+    /// Serializes all rows as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "config,app,dataset,runtime_s,flops,app_throughput,energy_j,power_w,\
+             cost_usd,flops_per_watt,flops_per_dollar,msg_hops,hit_rate,sim_s\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{:.6e},{:.4e},{:.4e},{:.4e},{:.3},{:.2},{:.4e},{:.4e},{},{:.4},{:.3}\n",
+                r.config,
+                r.app,
+                r.dataset,
+                r.runtime_secs,
+                r.flops,
+                r.app_throughput,
+                r.energy_j,
+                r.power_w,
+                r.cost_usd,
+                r.flops_per_watt,
+                r.flops_per_dollar,
+                r.msg_hops,
+                r.hit_rate,
+                r.sim_secs
+            ));
+        }
+        out
+    }
+
+    /// Improvement factors of a metric over a baseline configuration,
+    /// per (app, dataset) pair — the paper's Fig. 5 presentation.
+    ///
+    /// Returns `(config, app, dataset, factor)` for every non-baseline
+    /// row that has a matching baseline row.
+    pub fn normalized_to(
+        &self,
+        baseline_config: &str,
+        metric: impl Fn(&ReportRow) -> f64,
+    ) -> Vec<(String, String, String, f64)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if row.config == baseline_config {
+                continue;
+            }
+            let base = self.rows.iter().find(|b| {
+                b.config == baseline_config && b.app == row.app && b.dataset == row.dataset
+            });
+            if let Some(base) = base {
+                let denom = metric(base);
+                if denom != 0.0 {
+                    out.push((
+                        row.config.clone(),
+                        row.app.clone(),
+                        row.dataset.clone(),
+                        metric(row) / denom,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Geometric mean of `values` (the paper's "Geo" column).
+    pub fn geomean(values: &[f64]) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+    }
+
+    /// A human-readable aligned table of the key metrics.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10}\n",
+            "config", "app", "dataset", "runtime_s", "flops", "power_w", "cost_usd"
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0}\n",
+                r.config, r.app, r.dataset, r.runtime_secs, r.flops, r.power_w, r.cost_usd
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(config: &str, app: &str, flops: f64) -> ReportRow {
+        ReportRow {
+            config: config.into(),
+            app: app.into(),
+            dataset: "rmat".into(),
+            runtime_secs: 1.0,
+            flops,
+            app_throughput: flops,
+            energy_j: 1.0,
+            power_w: 10.0,
+            cost_usd: 100.0,
+            flops_per_watt: flops / 10.0,
+            flops_per_dollar: flops / 100.0,
+            msg_hops: 5,
+            hit_rate: 0.9,
+            sim_secs: 0.1,
+        }
+    }
+
+    #[test]
+    fn csv_and_text_render() {
+        let mut t = ReportTable::new();
+        t.push(row("base", "BFS", 100.0));
+        let csv = t.to_csv();
+        assert!(csv.lines().count() == 2);
+        assert!(csv.contains("base,BFS,rmat"));
+        assert!(t.to_text().contains("BFS"));
+    }
+
+    #[test]
+    fn normalization_pairs_by_app() {
+        let mut t = ReportTable::new();
+        t.push(row("base", "BFS", 100.0));
+        t.push(row("base", "SSSP", 50.0));
+        t.push(row("big", "BFS", 300.0));
+        t.push(row("big", "SSSP", 100.0));
+        let norm = t.normalized_to("base", |r| r.flops);
+        assert_eq!(norm.len(), 2);
+        assert_eq!(norm[0].3, 3.0);
+        assert_eq!(norm[1].3, 2.0);
+    }
+
+    #[test]
+    fn geomean_of_factors() {
+        assert!((ReportTable::geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(ReportTable::geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-frame time-series statistics (the GUI tool's pane: average,
+//! min/max, standard deviation and quartiles of a per-tile counter over
+//! the execution — paper §III-F).
+
+use muchisim_core::FrameLog;
+use serde::{Deserialize, Serialize};
+
+/// Distribution statistics of a per-tile counter within one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FrameStats {
+    /// Frame index.
+    pub index: u64,
+    /// First cycle of the frame.
+    pub start_cycle: u64,
+    /// Mean over all tiles (absent tiles count as zero).
+    pub mean: f64,
+    /// Minimum.
+    pub min: u32,
+    /// Maximum.
+    pub max: u32,
+    /// Standard deviation.
+    pub stddev: f64,
+    /// 25th percentile.
+    pub q1: u32,
+    /// Median.
+    pub median: u32,
+    /// 75th percentile.
+    pub q3: u32,
+}
+
+impl FrameStats {
+    fn from_grid(index: u64, start_cycle: u64, grid: &mut Vec<u32>) -> Self {
+        let n = grid.len().max(1) as f64;
+        let mean = grid.iter().map(|&v| v as f64).sum::<f64>() / n;
+        let var = grid
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        grid.sort_unstable();
+        let pick = |q: f64| grid[((grid.len() - 1) as f64 * q).round() as usize];
+        FrameStats {
+            index,
+            start_cycle,
+            mean,
+            min: *grid.first().unwrap_or(&0),
+            max: *grid.last().unwrap_or(&0),
+            stddev: var.sqrt(),
+            q1: pick(0.25),
+            median: pick(0.5),
+            q3: pick(0.75),
+        }
+    }
+}
+
+/// Which per-tile counter of a frame to summarize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Router busy cycles.
+    RouterBusy,
+    /// PU busy cycles.
+    PuBusy,
+    /// Input-queue occupancy (verbosity V3).
+    IqOccupancy,
+}
+
+/// A per-frame statistics series extracted from a [`FrameLog`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// One row per frame.
+    pub rows: Vec<FrameStats>,
+}
+
+impl TimeSeries {
+    /// Summarizes `counter` over all frames for a grid of `total_tiles`.
+    pub fn from_frames(log: &FrameLog, counter: Counter, total_tiles: u32) -> Self {
+        let rows = log
+            .frames
+            .iter()
+            .map(|f| {
+                let mut grid = match counter {
+                    Counter::RouterBusy => f.router_grid(total_tiles),
+                    Counter::PuBusy => f.pu_grid(total_tiles),
+                    Counter::IqOccupancy => {
+                        let mut g = vec![0u32; total_tiles as usize];
+                        for &(t, v) in &f.iq_occupancy {
+                            g[t as usize] += v;
+                        }
+                        g
+                    }
+                };
+                FrameStats::from_grid(f.index, f.start_cycle, &mut grid)
+            })
+            .collect();
+        TimeSeries { rows }
+    }
+
+    /// Serializes to CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("frame,start_cycle,mean,min,q1,median,q3,max,stddev\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{:.4},{},{},{},{},{},{:.4}\n",
+                r.index, r.start_cycle, r.mean, r.min, r.q1, r.median, r.q3, r.max, r.stddev
+            ));
+        }
+        out
+    }
+
+    /// The tail-imbalance signal the paper highlights: frames where the
+    /// max is far above the median indicate a long execution tail.
+    pub fn tail_imbalance(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| {
+                if r.median == 0 {
+                    r.max as f64
+                } else {
+                    r.max as f64 / r.median as f64
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muchisim_core::Frame;
+
+    fn log_with(frames: Vec<Frame>) -> FrameLog {
+        FrameLog {
+            interval_cycles: 100,
+            frames,
+        }
+    }
+
+    #[test]
+    fn stats_over_sparse_frame() {
+        let f = Frame {
+            index: 0,
+            start_cycle: 0,
+            pu_busy: vec![(0, 10), (1, 20)],
+            ..Default::default()
+        };
+        let ts = TimeSeries::from_frames(&log_with(vec![f]), Counter::PuBusy, 4);
+        let r = ts.rows[0];
+        assert_eq!(r.min, 0);
+        assert_eq!(r.max, 20);
+        assert!((r.mean - 7.5).abs() < 1e-9);
+        assert_eq!(r.median, 10);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let f = Frame::default();
+        let ts = TimeSeries::from_frames(&log_with(vec![f]), Counter::RouterBusy, 4);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("frame,start_cycle,mean"));
+        assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn tail_imbalance_detects_stragglers() {
+        let balanced = Frame {
+            index: 0,
+            pu_busy: vec![(0, 10), (1, 10), (2, 10), (3, 10)],
+            ..Default::default()
+        };
+        let skewed = Frame {
+            index: 0,
+            pu_busy: vec![(0, 100), (1, 2), (2, 2), (3, 2)],
+            ..Default::default()
+        };
+        let b = TimeSeries::from_frames(&log_with(vec![balanced]), Counter::PuBusy, 4);
+        let s = TimeSeries::from_frames(&log_with(vec![skewed]), Counter::PuBusy, 4);
+        assert!(s.tail_imbalance() > b.tail_imbalance());
+    }
+}

@@ -1,0 +1,68 @@
+//! Visualization tour (paper §III-F / Fig. 2): run barrier-synchronized
+//! BFS, dump router- and PU-activity heat-map frames (ASCII to stdout,
+//! PPM sequence to disk — the "GIF"), and print the per-frame time-series
+//! statistics the GUI tool plots.
+//!
+//! ```sh
+//! cargo run --release --example heatmap_tour
+//! ```
+
+use muchisim::apps::{Bfs, SyncMode};
+use muchisim::config::{SystemConfig, Verbosity};
+use muchisim::core::Simulation;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::viz::{Counter, Heatmap, TimeSeries};
+
+const SIDE: u32 = 16;
+const FRAME_CYCLES: u64 = 4000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(SIDE, SIDE)
+        .noc_width_bits(32)
+        .verbosity(Verbosity::V2) // per-tile frames for heat maps
+        .frame_interval_cycles(FRAME_CYCLES)
+        .build()?;
+    let graph = RmatConfig::scale(12).generate(3);
+    let app = Bfs::new(graph, cfg.total_tiles() as u32, 0, SyncMode::Barrier);
+    let result = Simulation::new(cfg, app)?.run_parallel(8)?;
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+    println!(
+        "BFS finished in {} cycles, {} frames of {} cycles",
+        result.runtime_cycles,
+        result.frames.len(),
+        FRAME_CYCLES
+    );
+
+    let hm = Heatmap::new(SIDE, SIDE);
+    let tiles = SIDE * SIDE;
+
+    // ASCII router + PU activity, side by side, for three sample frames
+    let n = result.frames.len();
+    for idx in [n / 4, n / 2, 3 * n / 4] {
+        let frame = &result.frames.frames[idx];
+        let router = hm.ascii(&frame.router_grid(tiles), FRAME_CYCLES as u32 / 2);
+        let pu = hm.ascii(&frame.pu_grid(tiles), FRAME_CYCLES as u32 / 2);
+        println!("\nframe {idx}: router activity | PU activity");
+        for (l, r) in router.lines().zip(pu.lines()) {
+            println!("{l}   |   {r}");
+        }
+    }
+
+    // PPM "GIF" frames
+    let dir = std::path::Path::new("target").join("heatmap_tour");
+    let grids: Vec<Vec<u32>> = result
+        .frames
+        .frames
+        .iter()
+        .map(|f| f.router_grid(tiles))
+        .collect();
+    hm.write_sequence(&dir, &grids, FRAME_CYCLES as u32)?;
+    println!("\nwrote {} PPM frames to {}", grids.len(), dir.display());
+
+    // GUI-style time series with tail diagnosis
+    let series = TimeSeries::from_frames(&result.frames, Counter::PuBusy, tiles);
+    println!("\nPU-activity time series (CSV):\n{}", series.to_csv());
+    println!("tail imbalance (max/median across frames): {:.1}", series.tail_imbalance());
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Design-space exploration: the paper's §IV-C memory-integration case
+//! study in miniature. Sweeps SRAM size and tiles-per-HBM-channel and
+//! compares performance, performance-per-watt and performance-per-dollar
+//! across applications, including re-pricing the *same* simulations under
+//! a different HBM cost scenario without re-simulating.
+//!
+//! ```sh
+//! cargo run --release --example memory_design_space
+//! ```
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::{DramConfig, SystemConfig};
+use muchisim::data::rmat::RmatConfig;
+use muchisim::energy::Report;
+use muchisim::viz::{ReportRow, ReportTable};
+
+fn config(chiplet_side: u32, sram_kib: u32) -> SystemConfig {
+    let per_side = 16 / chiplet_side;
+    SystemConfig::builder()
+        .chiplet_tiles(chiplet_side, chiplet_side)
+        .package_chiplets(per_side, per_side)
+        .sram_kib_per_tile(sram_kib)
+        .dram(DramConfig::default())
+        .build()
+        .expect("valid configuration")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = RmatConfig::scale(11).generate(7);
+    let apps = [Benchmark::Bfs, Benchmark::Spmv, Benchmark::Spmm];
+    let sweep = [(16u32, 1u32), (16, 2), (16, 4), (8, 4)];
+
+    let mut table = ReportTable::new();
+    let mut saved = Vec::new();
+    for (chiplet, sram) in sweep {
+        let cfg = config(chiplet, sram);
+        let label = format!("{}T/Ch {sram}KiB", chiplet * chiplet / 8);
+        for app in apps {
+            let result = run_benchmark(app, cfg.clone(), &graph, 8)?;
+            assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+            let report = Report::from_counters(&cfg, &result.counters);
+            table.push(ReportRow::new(&label, app.label(), "RMAT-11", &result, &report));
+            saved.push((cfg.clone(), label.clone(), app, result));
+        }
+    }
+
+    println!("{}", table.to_text());
+    println!("perf/$ improvement over the 32T/Ch 1KiB baseline:");
+    for (cfg_label, app, _, factor) in
+        table.normalized_to("32T/Ch 1KiB", |r| r.app_throughput / r.cost_usd)
+    {
+        println!("  {cfg_label:<14} {app:<6} {factor:5.2}x");
+    }
+
+    // The decoupled cost model: re-price the same runs if HBM drops to
+    // $3/GB (paper §III-E: "evaluating the performance-per-dollar of a
+    // given simulation in the light of different DRAM cost scenarios").
+    println!("\nre-pricing with HBM at $3/GB (no re-simulation):");
+    for (mut cfg, label, app, result) in saved {
+        cfg.params.cost.hbm_usd_per_gb = 3.0;
+        let report = Report::from_counters(&cfg, &result.counters);
+        println!(
+            "  {label:<14} {:<6} ${:>7.0} -> {:.2} kTEPS/$",
+            app.label(),
+            report.cost.total_usd,
+            report.app_throughput / report.cost.total_usd / 1e3
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! A minimal command-line front end: run any suite benchmark on a chosen
+//! grid and dataset scale, print the report, and write the counters file
+//! for later energy/cost post-processing.
+//!
+//! ```sh
+//! cargo run --release --example muchisim_cli -- bfs 12 16 8
+//! #                                             app scale side threads
+//! ```
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::SystemConfig;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::energy::Report;
+
+fn parse_app(name: &str) -> Option<Benchmark> {
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.label().eq_ignore_ascii_case(name))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("bfs");
+    let scale: u32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let side: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let threads: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let Some(app) = parse_app(app_name) else {
+        eprintln!(
+            "unknown app `{app_name}`; choose one of: {}",
+            Benchmark::ALL.map(|b| b.label().to_lowercase()).join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let cfg = SystemConfig::builder().chiplet_tiles(side, side).build()?;
+    let graph = RmatConfig::scale(scale).generate(42);
+    println!(
+        "running {} on RMAT-{scale} over {}x{side} tiles with {threads} host threads...",
+        app.label(),
+        side
+    );
+    let result = run_benchmark(app, cfg.clone(), &graph, threads)?;
+    match &result.check_error {
+        None => println!("check: PASSED"),
+        Some(e) => println!("check: FAILED ({e})"),
+    }
+    let report = Report::from_counters(&cfg, &result.counters);
+    println!("{}", report.to_json());
+
+    // the counters file: rerun post-processing later with new parameters
+    let counters_path = std::path::Path::new("target").join("counters.json");
+    std::fs::write(&counters_path, serde_json::to_string_pretty(&result.counters)?)?;
+    println!("counters file written to {}", counters_path.display());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: simulate BFS on an RMAT graph over a 16×16-tile chip and
+//! print the performance / energy / area / cost report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use muchisim::apps::{Bfs, SyncMode};
+use muchisim::config::{NocTopology, SystemConfig};
+use muchisim::core::Simulation;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::energy::Report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the design under test: one 16x16-tile chiplet, 128 KiB
+    //    of SRAM per tile used as a scratchpad, 64-bit folded-torus NoC.
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(16, 16)
+        .sram_kib_per_tile(128)
+        .noc_topology(NocTopology::FoldedTorus)
+        .build()?;
+
+    // 2. Generate a dataset: RMAT-12 (4,096 vertices, 65,536 edges).
+    let graph = RmatConfig::scale(12).generate(42);
+    println!(
+        "dataset: RMAT-12, {} vertices, {} edges ({} KiB footprint)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.footprint_bytes() / 1024
+    );
+
+    // 3. Build the application: asynchronous BFS from vertex 0, the
+    //    dataset scattered equally over all 256 tiles.
+    let app = Bfs::new(graph, cfg.total_tiles() as u32, 0, SyncMode::Async);
+
+    // 4. Simulate (use as many host threads as grid columns).
+    let result = Simulation::new(cfg.clone(), app)?.run_parallel(8)?;
+    match &result.check_error {
+        None => println!("result check: PASSED (matches host reference BFS)"),
+        Some(e) => println!("result check: FAILED: {e}"),
+    }
+
+    // 5. Report.
+    let report = Report::from_counters(&cfg, &result.counters);
+    println!("\n-- performance --");
+    println!("DUT runtime:        {} ({} NoC cycles)", result.runtime, result.runtime_cycles);
+    println!("throughput:         {:.2} MTEPS", report.app_throughput / 1e6);
+    println!("tasks executed:     {}", result.counters.pu.tasks_executed);
+    println!("NoC message hops:   {}", result.counters.noc.msg_hops);
+    println!("host time:          {:.3} s on {} threads", result.host_seconds, result.host_threads);
+    println!("sim/DUT slowdown:   {:.0}x", result.slowdown_vs_dut() / cfg.total_tiles() as f64);
+
+    println!("\n-- energy / area / cost --");
+    println!("total energy:       {:.3} uJ", report.energy.total_pj() / 1e6);
+    println!("average power:      {:.2} W", report.average_power_w);
+    println!("power density:      {:.3} W/mm^2", report.power_density_w_mm2);
+    println!("chip area:          {:.1} mm^2", report.area.total_compute_mm2);
+    println!("system cost:        ${:.0}", report.cost.total_usd);
+    println!("perf per watt:      {:.2} MTEPS/W", report.app_throughput / report.average_power_w / 1e6);
+    println!("perf per dollar:    {:.2} kTEPS/$", report.app_throughput / report.cost.total_usd / 1e3);
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests: the full pipeline from dataset
+//! generation through simulation to energy/cost reporting and
+//! visualization artifacts.
+
+use muchisim::apps::{run_benchmark, Benchmark, PageRank};
+use muchisim::config::{DramConfig, NocTopology, SystemConfig, Verbosity};
+use muchisim::core::{SimCounters, Simulation};
+use muchisim::data::rmat::RmatConfig;
+use muchisim::energy::Report;
+use muchisim::viz::{Counter, Heatmap, ReportRow, ReportTable, TimeSeries};
+
+#[test]
+fn dataset_to_report_pipeline() {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .verbosity(Verbosity::V2)
+        .frame_interval_cycles(500)
+        .build()
+        .unwrap();
+    let graph = RmatConfig::scale(9).generate(1);
+    let result = run_benchmark(Benchmark::Bfs, cfg.clone(), &graph, 4).unwrap();
+    assert!(result.check_error.is_none());
+
+    // energy/area/cost report
+    let report = Report::from_counters(&cfg, &result.counters);
+    assert!(report.average_power_w > 0.0);
+    assert!(report.cost.total_usd > 0.0);
+    assert!(report.area.total_compute_mm2 > 0.0);
+
+    // visualization artifacts
+    let tiles = cfg.total_tiles() as u32;
+    let series = TimeSeries::from_frames(&result.frames, Counter::RouterBusy, tiles);
+    assert_eq!(series.rows.len(), result.frames.len());
+    let hm = Heatmap::new(cfg.width(), cfg.height());
+    let ascii = hm.ascii(
+        &result.frames.frames[0].router_grid(tiles),
+        500,
+    );
+    assert_eq!(ascii.lines().count(), cfg.height() as usize);
+
+    // comparison table
+    let mut table = ReportTable::new();
+    table.push(ReportRow::new("base", "BFS", "RMAT-9", &result, &report));
+    assert!(table.to_csv().contains("base,BFS,RMAT-9"));
+}
+
+#[test]
+fn counters_file_round_trip_and_repricing() {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .dram(DramConfig::default())
+        .sram_kib_per_tile(2)
+        .build()
+        .unwrap();
+    let graph = RmatConfig::scale(9).generate(2);
+    let result = run_benchmark(Benchmark::Spmv, cfg.clone(), &graph, 2).unwrap();
+    assert!(result.check_error.is_none());
+
+    // the counters file workflow: serialize, reload, post-process with
+    // modified parameters
+    let json = serde_json::to_string(&result.counters).unwrap();
+    let counters: SimCounters = serde_json::from_str(&json).unwrap();
+    assert_eq!(counters, result.counters);
+
+    let before = Report::from_counters(&cfg, &counters);
+    let mut repriced_cfg = cfg.clone();
+    repriced_cfg.params.cost.hbm_usd_per_gb = 15.0;
+    let after = Report::from_counters(&repriced_cfg, &counters);
+    assert!(after.cost.hbm_usd > before.cost.hbm_usd);
+    assert_eq!(after.energy, before.energy);
+    assert!(after.flops_per_dollar < before.flops_per_dollar);
+}
+
+#[test]
+fn topology_changes_traffic_not_results() {
+    let graph = RmatConfig::scale(9).generate(3);
+    let mut hops = Vec::new();
+    for topo in [NocTopology::Mesh, NocTopology::FoldedTorus] {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(8, 8)
+            .noc_topology(topo)
+            .build()
+            .unwrap();
+        let result = run_benchmark(Benchmark::Histogram, cfg, &graph, 4).unwrap();
+        assert!(result.check_error.is_none(), "{topo:?}");
+        hops.push(result.counters.noc.msg_hops);
+    }
+    assert!(
+        hops[1] < hops[0],
+        "torus ({}) should need fewer hops than mesh ({})",
+        hops[1],
+        hops[0]
+    );
+}
+
+#[test]
+fn multi_chiplet_hierarchy_counts_boundary_crossings() {
+    let graph = RmatConfig::scale(9).generate(4);
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(4, 4)
+        .package_chiplets(2, 2)
+        .build()
+        .unwrap();
+    let result = run_benchmark(Benchmark::Bfs, cfg.clone(), &graph, 4).unwrap();
+    assert!(result.check_error.is_none());
+    let d2d = result
+        .counters
+        .noc
+        .flit_hops(muchisim::config::LinkClass::DieToDie);
+    assert!(d2d > 0, "cross-chiplet traffic must cross die-to-die PHYs");
+    let report = Report::from_counters(&cfg, &result.counters);
+    assert!(report.energy.d2d_pj > 0.0);
+    assert!(report.area.phy_mm2 > 0.0);
+}
+
+#[test]
+fn pagerank_multi_kernel_with_reduction_network() {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .build()
+        .unwrap();
+    let graph = RmatConfig::scale(9).generate(5);
+    let app = PageRank::new(graph, 64, 3).with_reduction(true);
+    let result = Simulation::new(cfg, app).unwrap().run_parallel(4).unwrap();
+    assert!(result.check_error.is_none(), "{:?}", result.check_error);
+    assert!(result.counters.noc.reduce_combines > 0);
+}
+
+#[test]
+fn frequency_ratio_between_domains() {
+    use muchisim::config::{ClockDomain, Frequency};
+    let graph = RmatConfig::scale(8).generate(6);
+    // slow NoC at half the PU frequency: same functional result, longer
+    // runtime in wall time
+    let run = |noc_ghz: f64| {
+        let mut b = SystemConfig::builder();
+        b.chiplet_tiles(8, 8).noc_clock(ClockDomain::at(Frequency::ghz(noc_ghz)));
+        let cfg = b.build().unwrap();
+        let r = run_benchmark(Benchmark::Bfs, cfg, &graph, 1).unwrap();
+        assert!(r.check_error.is_none());
+        r.runtime.as_secs()
+    };
+    let fast = run(1.0);
+    let slow = run(0.5);
+    assert!(
+        slow > fast,
+        "halving the NoC frequency should increase runtime ({slow:.3e} vs {fast:.3e})"
+    );
+}
