@@ -403,6 +403,9 @@ mod tests {
         let g = RmatConfig::scale(8).generate(3);
         let bfs = Bfs::new(g, 16, 0, SyncMode::Async);
         let reached = bfs.reference().iter().filter(|&&d| d != INF).count();
-        assert!(reached > 64, "root should reach a large component, got {reached}");
+        assert!(
+            reached > 64,
+            "root should reach a large component, got {reached}"
+        );
     }
 }

@@ -114,10 +114,8 @@ pub fn run_benchmark(
         Benchmark::PageRank => {
             Simulation::new(cfg, PageRank::new(graph.clone(), tiles, 5))?.run_parallel(threads)
         }
-        Benchmark::Wcc => {
-            Simulation::new(cfg, Wcc::new(graph.clone(), tiles, SyncMode::Async))?
-                .run_parallel(threads)
-        }
+        Benchmark::Wcc => Simulation::new(cfg, Wcc::new(graph.clone(), tiles, SyncMode::Async))?
+            .run_parallel(threads),
         Benchmark::Spmv => {
             Simulation::new(cfg, Spmv::new(graph.clone(), tiles))?.run_parallel(threads)
         }
@@ -126,8 +124,7 @@ pub fn run_benchmark(
         }
         Benchmark::Histogram => {
             let bins = graph.num_vertices();
-            Simulation::new(cfg, Histogram::new(graph.clone(), tiles, bins))?
-                .run_parallel(threads)
+            Simulation::new(cfg, Histogram::new(graph.clone(), tiles, bins))?.run_parallel(threads)
         }
         Benchmark::Fft => {
             let n = cfg.width() as usize;

@@ -109,7 +109,11 @@ fn benchmarks_correct_with_dram_cache_mode() {
     let graph = rmat8();
     for bench in [Benchmark::Bfs, Benchmark::Spmv, Benchmark::Histogram] {
         let result = run_benchmark(bench, cfg.clone(), &graph, 1).unwrap();
-        assert!(result.check_error.is_none(), "{bench}: {:?}", result.check_error);
+        assert!(
+            result.check_error.is_none(),
+            "{bench}: {:?}",
+            result.check_error
+        );
         assert!(result.counters.mem.cache_misses > 0, "{bench}");
     }
 }
@@ -124,7 +128,11 @@ fn benchmarks_correct_on_torus_with_threads() {
     let graph = rmat8();
     for bench in [Benchmark::Sssp, Benchmark::PageRank, Benchmark::Spmm] {
         let result = run_benchmark(bench, cfg.clone(), &graph, 4).unwrap();
-        assert!(result.check_error.is_none(), "{bench}: {:?}", result.check_error);
+        assert!(
+            result.check_error.is_none(),
+            "{bench}: {:?}",
+            result.check_error
+        );
     }
 }
 
@@ -135,8 +143,14 @@ fn parallel_threads_bit_identical_for_apps() {
         let r1 = run_benchmark(bench, cfg_8x8(), &graph, 1).unwrap();
         let r4 = run_benchmark(bench, cfg_8x8(), &graph, 4).unwrap();
         assert_eq!(r1.runtime_cycles, r4.runtime_cycles, "{bench}");
-        assert_eq!(r1.counters.noc.msg_hops, r4.counters.noc.msg_hops, "{bench}");
-        assert_eq!(r1.counters.pu.busy_cycles, r4.counters.pu.busy_cycles, "{bench}");
+        assert_eq!(
+            r1.counters.noc.msg_hops, r4.counters.noc.msg_hops,
+            "{bench}"
+        );
+        assert_eq!(
+            r1.counters.pu.busy_cycles, r4.counters.pu.busy_cycles,
+            "{bench}"
+        );
     }
 }
 
@@ -201,5 +215,8 @@ fn prefetch_identical_across_threads() {
     let r4 = run_benchmark(Benchmark::Spmv, mk(), &graph, 4).unwrap();
     assert!(r1.check_error.is_none());
     assert_eq!(r1.runtime_cycles, r4.runtime_cycles);
-    assert_eq!(r1.counters.mem.prefetch_fills, r4.counters.mem.prefetch_fills);
+    assert_eq!(
+        r1.counters.mem.prefetch_fills,
+        r4.counters.mem.prefetch_fills
+    );
 }

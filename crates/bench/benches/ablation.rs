@@ -40,10 +40,7 @@ fn main() {
             .unwrap();
         println!(
             "reduction {:>5}: {:>8} cycles, {:>8} injected, {:>6} combined",
-            reduce,
-            r.runtime_cycles,
-            r.counters.noc.injected,
-            r.counters.noc.reduce_combines
+            reduce, r.runtime_cycles, r.counters.noc.injected, r.counters.noc.reduce_combines
         );
     }
 

@@ -48,7 +48,11 @@ fn run(noc: &str) -> (usize, u64) {
     let app = Bfs::new(graph, cfg.total_tiles() as u32, root, SyncMode::Barrier)
         .with_reduction(reduction);
     let result = Simulation::new(cfg, app).unwrap().run_parallel(8).unwrap();
-    assert!(result.check_error.is_none(), "{noc}: {:?}", result.check_error);
+    assert!(
+        result.check_error.is_none(),
+        "{noc}: {:?}",
+        result.check_error
+    );
 
     // write the router-activity frame sequence (the GIF equivalent)
     let hm = Heatmap::new(SIDE, SIDE);
@@ -59,7 +63,8 @@ fn run(noc: &str) -> (usize, u64) {
         .map(|f| f.router_grid(SIDE * SIDE))
         .collect();
     let dir = std::path::Path::new("target").join("fig2").join(noc);
-    hm.write_sequence(&dir, &frames, FRAME_CYCLES as u32).unwrap();
+    hm.write_sequence(&dir, &frames, FRAME_CYCLES as u32)
+        .unwrap();
 
     // print the busiest frame as ASCII (router activity)
     if let Some(busiest) = frames.iter().max_by_key(|g| g.iter().sum::<u32>()) {
@@ -75,9 +80,18 @@ fn main() {
     let (torus_frames, torus_cy) = run("torus");
     let (tree_frames, tree_cy) = run("torus+tree");
     println!("{:<14} {:>8} {:>12}", "NoC", "frames", "cycles");
-    println!("{:<14} {:>8} {:>12}   (paper: 50)", "mesh", mesh_frames, mesh_cy);
-    println!("{:<14} {:>8} {:>12}   (paper: 28)", "torus", torus_frames, torus_cy);
-    println!("{:<14} {:>8} {:>12}   (paper: 16)", "torus+tree", tree_frames, tree_cy);
+    println!(
+        "{:<14} {:>8} {:>12}   (paper: 50)",
+        "mesh", mesh_frames, mesh_cy
+    );
+    println!(
+        "{:<14} {:>8} {:>12}   (paper: 28)",
+        "torus", torus_frames, torus_cy
+    );
+    println!(
+        "{:<14} {:>8} {:>12}   (paper: 16)",
+        "torus+tree", tree_frames, tree_cy
+    );
     assert!(
         mesh_cy > torus_cy,
         "mesh ({mesh_cy}) should be slower than torus ({torus_cy})"

@@ -54,7 +54,11 @@ fn main() {
             let mut row = format!("{:<6} {:<8}", format!("{side}x{side}"), app.label());
             for (ti, &threads) in threads_sweep.iter().enumerate() {
                 let result = run_benchmark(app, dut(side), &graph, threads).unwrap();
-                assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+                assert!(
+                    result.check_error.is_none(),
+                    "{app}: {:?}",
+                    result.check_error
+                );
                 let dut_time = result.runtime.as_secs() * tiles;
                 let ratio = result.host_seconds / dut_time;
                 per_thread_ratios[ti].push(ratio);

@@ -41,7 +41,11 @@ fn main() {
                 .build()
                 .unwrap();
             let result = run_benchmark(app, cfg, &graph, threads).unwrap();
-            assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+            assert!(
+                result.check_error.is_none(),
+                "{app}: {:?}",
+                result.check_error
+            );
             let ops_rate = result.host_ops_per_sec();
             let flits_rate = result.host_flits_per_sec();
             println!(

@@ -49,14 +49,7 @@ fn perf(result: &SimResult) -> f64 {
 fn main() {
     let graph = muchisim_bench::bench_graph(12);
     // (chiplet side, sram KiB): baseline first
-    let sweep = [
-        (16u32, 1u32),
-        (16, 2),
-        (16, 4),
-        (8, 2),
-        (8, 4),
-        (8, 8),
-    ];
+    let sweep = [(16u32, 1u32), (16, 2), (16, 4), (8, 2), (8, 4), (8, 8)];
     let baseline = label(16, 1);
     let mut table = ReportTable::new();
     let mut results: Vec<(String, Benchmark, SimResult)> = Vec::new();
@@ -64,7 +57,11 @@ fn main() {
         let cfg = config(chiplet, sram);
         for app in Benchmark::GRAPH_DRIVEN {
             let result = run_benchmark(app, cfg.clone(), &graph, 8).unwrap();
-            assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+            assert!(
+                result.check_error.is_none(),
+                "{app}: {:?}",
+                result.check_error
+            );
             let report = Report::from_counters(&cfg, &result.counters);
             table.push(ReportRow::new(
                 label(chiplet, sram),
@@ -151,5 +148,8 @@ fn main() {
     }
     let ch_geo = muchisim_bench::geomean(&ch_gains);
     println!("channel sweep geomean gain (32T/Ch -> 8T/Ch at 2KiB): {ch_geo:.2}x (paper: ~2x)");
-    assert!(ch_geo > 1.3, "more DRAM channels per tile should improve performance");
+    assert!(
+        ch_geo > 1.3,
+        "more DRAM channels per tile should improve performance"
+    );
 }

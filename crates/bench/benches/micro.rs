@@ -10,15 +10,21 @@ use muchisim_mem::{AccessKind, ChannelState, TileMemory};
 use muchisim_noc::{DrainSink, Network, NetworkParams, Packet, Payload};
 
 fn bench_router_cycles(c: &mut Criterion) {
-    let cfg = SystemConfig::builder().chiplet_tiles(16, 16).build().unwrap();
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(16, 16)
+        .build()
+        .unwrap();
     c.bench_function("noc_drain_256_packets_16x16", |b| {
         b.iter_batched(
             || {
                 let mut net = Network::new(NetworkParams::from_system(&cfg), 1);
                 for src in 0..256u32 {
                     let dst = (src * 37 + 11) % 256;
-                    net.inject(src, Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2))
-                        .unwrap();
+                    net.inject(
+                        src,
+                        Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2),
+                    )
+                    .unwrap();
                 }
                 net
             },
@@ -48,12 +54,7 @@ fn bench_cache_model(c: &mut Criterion) {
             |(mut mem, mut ch)| {
                 let mut total = 0u64;
                 for i in 0..1000u64 {
-                    total += mem.access(
-                        (i * 97) % 32768,
-                        AccessKind::Read,
-                        i,
-                        Some(&mut ch),
-                    );
+                    total += mem.access((i * 97) % 32768, AccessKind::Read, i, Some(&mut ch));
                 }
                 total
             },

@@ -6,118 +6,155 @@
 
 use muchisim_config::ModelParams;
 
+fn row(label: &str, value: String) {
+    println!("{label:<44} {value}");
+}
+
 fn main() {
     let p = ModelParams::default();
     muchisim_bench::rule("Table I: memory model parameters");
-    println!("{:<44} {}", "SRAM Density", format!("{} MB/mm^2", p.sram.density_mb_per_mm2));
-    println!(
-        "{:<44} {}",
+    row(
+        "SRAM Density",
+        format!("{} MB/mm^2", p.sram.density_mb_per_mm2),
+    );
+    row(
         "SRAM R/W Latency & E.",
         format!(
             "{} ns & {} / {} pJ/bit",
             p.sram.access_latency_ns, p.sram.read_energy_pj_per_bit, p.sram.write_energy_pj_per_bit
-        )
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Cache Tag Read & cmp. E.",
-        format!("{} pJ", p.sram.tag_read_compare_energy_pj)
+        format!("{} pJ", p.sram.tag_read_compare_energy_pj),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "HBM2E 4-high Density",
         format!(
             "{}GB on {}mm^2 ({:.0} MB/mm^2)",
             p.hbm.device_capacity_gb,
             p.hbm.device_area_mm2,
             p.hbm.device_capacity_gb * 1024.0 / p.hbm.device_area_mm2
-        )
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Mem.Channels & Bandwidth",
-        format!("{} x {}GB/s", p.hbm.channels_per_device, p.hbm.channel_bandwidth_gbps)
+        format!(
+            "{} x {}GB/s",
+            p.hbm.channels_per_device, p.hbm.channel_bandwidth_gbps
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Mem.Ctrl-to-HBM Latency & E.",
-        format!("{} ns & {} pJ/bit", p.hbm.ctrl_latency_ns, p.hbm.access_energy_pj_per_bit)
+        format!(
+            "{} ns & {} pJ/bit",
+            p.hbm.ctrl_latency_ns, p.hbm.access_energy_pj_per_bit
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Bitline Refresh Period & E.",
-        format!("{} ms & {} pJ/bit", p.hbm.refresh_period_ms, p.hbm.refresh_energy_pj_per_bit)
+        format!(
+            "{} ms & {} pJ/bit",
+            p.hbm.refresh_period_ms, p.hbm.refresh_energy_pj_per_bit
+        ),
     );
     muchisim_bench::rule("Table I: wire & link model parameters");
-    println!(
-        "{:<44} {}",
+    row(
         "MCM PHY Areal Density",
-        format!("{} Gbits/mm^2", p.phy.mcm_areal_gbps_per_mm2)
+        format!("{} Gbits/mm^2", p.phy.mcm_areal_gbps_per_mm2),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "MCM PHY Beachfront Density",
-        format!("{} Gbits/mm", p.phy.mcm_beachfront_gbps_per_mm)
+        format!("{} Gbits/mm", p.phy.mcm_beachfront_gbps_per_mm),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Si. Interposer PHY Areal Density",
-        format!("{} Gbits/mm^2", p.phy.si_areal_gbps_per_mm2)
+        format!("{} Gbits/mm^2", p.phy.si_areal_gbps_per_mm2),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Si. Interposer PHY Beachfront Density",
-        format!("{} Gbits/mm", p.phy.si_beachfront_gbps_per_mm)
+        format!("{} Gbits/mm", p.phy.si_beachfront_gbps_per_mm),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Die-to-Die Link Latency & E.",
-        format!("{} ns & {} pJ/bit (<25 mm)", p.link.d2d_latency_ns, p.link.d2d_energy_pj_per_bit)
+        format!(
+            "{} ns & {} pJ/bit (<25 mm)",
+            p.link.d2d_latency_ns, p.link.d2d_energy_pj_per_bit
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "NoC Wire Latency & E.",
         format!(
             "{} ps/mm & {} pJ/bit/mm",
             p.link.noc_wire_latency_ps_per_mm, p.link.noc_wire_energy_pj_per_bit_mm
-        )
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "NoC Router Latency & E.",
-        format!("{} ps & {} pJ/bit", p.link.noc_router_latency_ps, p.link.noc_router_energy_pj_per_bit)
+        format!(
+            "{} ps & {} pJ/bit",
+            p.link.noc_router_latency_ps, p.link.noc_router_energy_pj_per_bit
+        ),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "I/O Die RX-TX Latency",
-        format!("{} ns", p.link.io_die_latency_ns)
+        format!("{} ns", p.link.io_die_latency_ns),
     );
-    println!(
-        "{:<44} {}",
+    row(
         "Off-Package Link E.",
-        format!("{} pJ/bit (upto 80mm)", p.link.off_package_energy_pj_per_bit)
+        format!(
+            "{} pJ/bit (upto 80mm)",
+            p.link.off_package_energy_pj_per_bit
+        ),
     );
 
     // assert the paper's printed values
     assert_eq!(p.sram.density_mb_per_mm2, 3.5);
     assert_eq!(p.sram.access_latency_ns, 0.82);
-    assert_eq!((p.sram.read_energy_pj_per_bit, p.sram.write_energy_pj_per_bit), (0.18, 0.28));
+    assert_eq!(
+        (
+            p.sram.read_energy_pj_per_bit,
+            p.sram.write_energy_pj_per_bit
+        ),
+        (0.18, 0.28)
+    );
     assert_eq!(p.sram.tag_read_compare_energy_pj, 6.3);
-    assert_eq!((p.hbm.device_capacity_gb, p.hbm.device_area_mm2), (8.0, 110.0));
-    assert_eq!((p.hbm.channels_per_device, p.hbm.channel_bandwidth_gbps), (8, 64.0));
-    assert_eq!((p.hbm.ctrl_latency_ns, p.hbm.access_energy_pj_per_bit), (50.0, 3.7));
-    assert_eq!((p.hbm.refresh_period_ms, p.hbm.refresh_energy_pj_per_bit), (32.0, 0.22));
+    assert_eq!(
+        (p.hbm.device_capacity_gb, p.hbm.device_area_mm2),
+        (8.0, 110.0)
+    );
+    assert_eq!(
+        (p.hbm.channels_per_device, p.hbm.channel_bandwidth_gbps),
+        (8, 64.0)
+    );
+    assert_eq!(
+        (p.hbm.ctrl_latency_ns, p.hbm.access_energy_pj_per_bit),
+        (50.0, 3.7)
+    );
+    assert_eq!(
+        (p.hbm.refresh_period_ms, p.hbm.refresh_energy_pj_per_bit),
+        (32.0, 0.22)
+    );
     assert_eq!(p.phy.mcm_areal_gbps_per_mm2, 690.0);
     assert_eq!(p.phy.mcm_beachfront_gbps_per_mm, 880.0);
     assert_eq!(p.phy.si_areal_gbps_per_mm2, 1070.0);
     assert_eq!(p.phy.si_beachfront_gbps_per_mm, 1780.0);
-    assert_eq!((p.link.d2d_latency_ns, p.link.d2d_energy_pj_per_bit), (4.0, 0.55));
     assert_eq!(
-        (p.link.noc_wire_latency_ps_per_mm, p.link.noc_wire_energy_pj_per_bit_mm),
+        (p.link.d2d_latency_ns, p.link.d2d_energy_pj_per_bit),
+        (4.0, 0.55)
+    );
+    assert_eq!(
+        (
+            p.link.noc_wire_latency_ps_per_mm,
+            p.link.noc_wire_energy_pj_per_bit_mm
+        ),
         (50.0, 0.15)
     );
     assert_eq!(
-        (p.link.noc_router_latency_ps, p.link.noc_router_energy_pj_per_bit),
+        (
+            p.link.noc_router_latency_ps,
+            p.link.noc_router_energy_pj_per_bit
+        ),
         (500.0, 0.1)
     );
     assert_eq!(p.link.io_die_latency_ns, 20.0);

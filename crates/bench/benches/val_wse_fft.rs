@@ -61,8 +61,10 @@ fn main() {
     let base = simulate(8);
     let fft_only = 3.0 * 10.0 * 4.0 * 3.0; // 3 sweeps of 10*(n/2)*log2(n)
     let c_transpose = (base.runtime_cycles as f64 - fft_only) / (2.0 * 64.0);
-    println!("calibrated transpose constant at n=8: {c_transpose:.2} cycles/n^2
-");
+    println!(
+        "calibrated transpose constant at n=8: {c_transpose:.2} cycles/n^2
+"
+    );
     println!(
         "{:<6} {:>12} {:>16} {:>16}",
         "n", "sim_cycles", "WSE_ref_cycles", "WSE_ref / sim"

@@ -53,18 +53,27 @@ impl fmt::Display for ConfigError {
                 write!(f, "hierarchy level `{level}` has a zero-sized extent")
             }
             ConfigError::InvalidNocWidth { bits } => {
-                write!(f, "NoC width of {bits} bits is not a positive multiple of 8")
+                write!(
+                    f,
+                    "NoC width of {bits} bits is not a positive multiple of 8"
+                )
             }
             ConfigError::NoPus => write!(f, "a tile must contain at least one PU"),
             ConfigError::NoSram => write!(f, "SRAM per tile must be non-zero"),
             ConfigError::InvalidRucheFactor { factor } => {
-                write!(f, "ruche factor {factor} must be >= 2 and divide the chiplet width")
+                write!(
+                    f,
+                    "ruche factor {factor} must be >= 2 and divide the chiplet width"
+                )
             }
             ConfigError::EmptyQueue { queue } => {
                 write!(f, "{queue} queue capacity must be non-zero")
             }
             ConfigError::OperatingAbovePeak { domain } => {
-                write!(f, "{domain} operating frequency exceeds its peak design frequency")
+                write!(
+                    f,
+                    "{domain} operating frequency exceeds its peak design frequency"
+                )
             }
             ConfigError::NoNocs => write!(f, "at least one physical NoC is required"),
             ConfigError::NoDramChannels => {

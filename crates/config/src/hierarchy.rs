@@ -339,8 +339,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_empty() {
-        let mut h = Hierarchy::default();
-        h.package = Extent::new(0, 1);
+        let h = Hierarchy {
+            package: Extent::new(0, 1),
+            ..Hierarchy::default()
+        };
         assert!(h.validate().is_err());
     }
 

@@ -44,12 +44,11 @@ mod units;
 pub use error::ConfigError;
 pub use hierarchy::{Hierarchy, LinkClass, TileCoord};
 pub use params::{
-    CostParams, HbmParams, LinkParams, ModelParams, PhyParams, PuParams, SramParams,
-    VoltageModel,
+    CostParams, HbmParams, LinkParams, ModelParams, PhyParams, PuParams, SramParams, VoltageModel,
 };
 pub use system::{
-    ClockDomain, DramConfig, InterposerKind, MemoryConfig, NocConfig, NocTopology,
-    PrefetchConfig, QueueConfig, ReductionTreeConfig, SchedulingPolicy, SystemConfig,
-    SystemConfigBuilder, Verbosity,
+    ClockDomain, DramConfig, InterposerKind, MemoryConfig, NocConfig, NocTopology, PrefetchConfig,
+    QueueConfig, ReductionTreeConfig, SchedulingPolicy, SystemConfig, SystemConfigBuilder,
+    Verbosity,
 };
 pub use units::{Area, Energy, Frequency, TimePs};

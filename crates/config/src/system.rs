@@ -188,9 +188,7 @@ impl ClockDomain {
 }
 
 /// Output verbosity (paper §III-F).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub enum Verbosity {
     /// Only aggregated statistics at the end of the run.
     #[default]
@@ -337,9 +335,7 @@ impl SystemConfig {
         let extra = match class {
             LinkClass::OnChip => TimePs::ZERO,
             LinkClass::DieToDie => TimePs::ns(link.d2d_latency_ns),
-            LinkClass::OffPackage => {
-                TimePs::ns(link.d2d_latency_ns + link.io_die_latency_ns)
-            }
+            LinkClass::OffPackage => TimePs::ns(link.d2d_latency_ns + link.io_die_latency_ns),
             LinkClass::InterNode => TimePs::ns(
                 link.d2d_latency_ns + link.io_die_latency_ns + link.inter_node_latency_ns,
             ),
@@ -368,8 +364,7 @@ impl SystemConfig {
         match &self.memory {
             MemoryConfig::Scratchpad => None,
             MemoryConfig::Dram(d) => {
-                let channels =
-                    (d.devices_per_chiplet * self.params.hbm.channels_per_device) as u64;
+                let channels = (d.devices_per_chiplet * self.params.hbm.channels_per_device) as u64;
                 Some(self.hierarchy.tiles_per_chiplet() / channels.max(1))
             }
         }
@@ -389,7 +384,7 @@ impl SystemConfig {
         if self.sram_kib_per_tile == 0 {
             return Err(ConfigError::NoSram);
         }
-        if self.noc.width_bits == 0 || self.noc.width_bits % 8 != 0 {
+        if self.noc.width_bits == 0 || !self.noc.width_bits.is_multiple_of(8) {
             return Err(ConfigError::InvalidNocWidth {
                 bits: self.noc.width_bits,
             });
@@ -398,7 +393,7 @@ impl SystemConfig {
             return Err(ConfigError::NoNocs);
         }
         if let Some(r) = self.noc.ruche_factor {
-            if r < 2 || self.hierarchy.chiplet.x % r != 0 {
+            if r < 2 || !self.hierarchy.chiplet.x.is_multiple_of(r) {
                 return Err(ConfigError::InvalidRucheFactor { factor: r });
             }
         }
@@ -649,7 +644,10 @@ mod tests {
 
     #[test]
     fn invalid_noc_width_rejected() {
-        let err = SystemConfig::builder().noc_width_bits(12).build().unwrap_err();
+        let err = SystemConfig::builder()
+            .noc_width_bits(12)
+            .build()
+            .unwrap_err();
         assert_eq!(err, ConfigError::InvalidNocWidth { bits: 12 });
     }
 
@@ -683,13 +681,22 @@ mod tests {
 
     #[test]
     fn sram_latency_scales_beyond_threshold() {
-        let small = SystemConfig::builder().sram_kib_per_tile(256).build().unwrap();
+        let small = SystemConfig::builder()
+            .sram_kib_per_tile(256)
+            .build()
+            .unwrap();
         // 0.82ns at 1GHz -> 1 cycle
         assert_eq!(small.sram_latency_cycles(), 1);
-        let big = SystemConfig::builder().sram_kib_per_tile(1024).build().unwrap();
+        let big = SystemConfig::builder()
+            .sram_kib_per_tile(1024)
+            .build()
+            .unwrap();
         // beyond 512KiB: +1ns -> 1.82ns -> 2 cycles
         assert_eq!(big.sram_latency_cycles(), 2);
-        let huge = SystemConfig::builder().sram_kib_per_tile(4096).build().unwrap();
+        let huge = SystemConfig::builder()
+            .sram_kib_per_tile(4096)
+            .build()
+            .unwrap();
         // two quadrupling steps: 2.82ns -> 3 cycles
         assert_eq!(huge.sram_latency_cycles(), 3);
     }

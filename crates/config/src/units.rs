@@ -91,9 +91,7 @@ impl fmt::Display for Frequency {
 /// The simulator keeps all latency parameters in picoseconds internally so
 /// that PU and NoC clock domains with arbitrary frequency ratios can be
 /// composed exactly (paper §III-C).
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct TimePs(f64);
 
 impl TimePs {
@@ -179,9 +177,7 @@ impl fmt::Display for TimePs {
 }
 
 /// An energy amount in picojoules.
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct Energy(f64);
 
 impl Energy {
@@ -256,9 +252,7 @@ impl fmt::Display for Energy {
 }
 
 /// A silicon area in square millimeters.
-#[derive(
-    Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct Area(f64);
 
 impl Area {

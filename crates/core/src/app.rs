@@ -179,7 +179,8 @@ impl<'a> TaskCtx<'a> {
     /// Virtual address of `local_index` in this tile's logical array
     /// `array_id` (convenience over [`GridInfo::array_addr`]).
     pub fn local_addr(&self, array_id: u32, local_index: u64, elem_bytes: u64) -> u64 {
-        self.grid.array_addr(self.tile, array_id, local_index, elem_bytes)
+        self.grid
+            .array_addr(self.tile, array_id, local_index, elem_bytes)
     }
 
     /// Sends a message invoking `task` on tile `dst`.

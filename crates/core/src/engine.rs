@@ -6,11 +6,11 @@ use crate::error::SimError;
 use crate::frames::{Frame, FrameLog};
 use crate::slice::ColSlice;
 use crate::tile::{SimResult, TileEngine};
-use muchisim_config::{
-    MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity,
-};
+use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
 use muchisim_mem::{ChannelMap, ChannelState};
-use muchisim_noc::{split_columns, EjectSink, Network, NetworkParams, Packet, Payload, Shard, SharedNet};
+use muchisim_noc::{
+    split_columns, EjectSink, Network, NetworkParams, Packet, Payload, Shard, SharedNet,
+};
 use std::time::Instant;
 
 /// Maximum task types supported by the engine.
@@ -174,7 +174,10 @@ impl<A: Application> Worker<A> {
             .iter_tiles()
             .map(|_| TileEngine::new(cfg, ntasks, iq_caps.clone(), policy.clone()))
             .collect();
-        let states: Vec<A::Tile> = slice.iter_tiles().map(|t| app.make_tile(t, &grid)).collect();
+        let states: Vec<A::Tile> = slice
+            .iter_tiles()
+            .map(|t| app.make_tile(t, &grid))
+            .collect();
         let channels = match channel_map {
             Some(m) => vec![ChannelState::default(); m.total_channels(cfg.height()) as usize],
             None => Vec::new(),
@@ -302,7 +305,9 @@ impl<A: Application> Worker<A> {
                 t.pu_clock[pu] = end;
                 t.counters.tasks_executed += 1;
                 t.counters.busy_cycles += duration;
-                t.busy_frame = t.busy_frame.saturating_add(duration.min(u32::MAX as u64) as u32);
+                t.busy_frame = t
+                    .busy_frame
+                    .saturating_add(duration.min(u32::MAX as u64) as u32);
                 self.frame_tasks += 1;
                 let end_ps = end as f64 * self.pu_period_ps;
                 if end_ps > self.max_pu_ps {
@@ -326,12 +331,7 @@ impl<A: Application> Worker<A> {
     }
 
     /// Drains ready channel-queue heads into the NoC planes.
-    pub fn inject_phase(
-        &mut self,
-        shards: &mut [&mut Shard],
-        shareds: &[&SharedNet],
-        cycle: u64,
-    ) {
+    pub fn inject_phase(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet], cycle: u64) {
         for local in 0..self.tiles.len() {
             if self.tiles[local].cq_msgs == 0 {
                 continue;
@@ -374,12 +374,7 @@ impl<A: Application> Worker<A> {
     }
 
     /// Steps this worker's shard of every NoC plane for `cycle`.
-    pub fn net_step(
-        &mut self,
-        shards: &mut [&mut Shard],
-        shareds: &[&SharedNet],
-        cycle: u64,
-    ) {
+    pub fn net_step(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet], cycle: u64) {
         let mut sink = IqSink {
             tiles: &mut self.tiles,
             slice: &self.slice,
@@ -396,7 +391,7 @@ impl<A: Application> Worker<A> {
         if self.verbosity == Verbosity::V0 {
             return;
         }
-        if (cycle + 1) % self.frame_interval != 0 {
+        if !(cycle + 1).is_multiple_of(self.frame_interval) {
             return;
         }
         self.capture_frame(shards, cycle + 1 - self.frame_interval);

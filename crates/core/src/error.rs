@@ -35,10 +35,16 @@ impl fmt::Display for SimError {
         match self {
             SimError::Config(e) => write!(f, "invalid configuration: {e}"),
             SimError::TooManyTaskTypes { declared } => {
-                write!(f, "{declared} task types exceed the supported maximum of 32")
+                write!(
+                    f,
+                    "{declared} task types exceed the supported maximum of 32"
+                )
             }
             SimError::CyclicTaskGraph => {
-                write!(f, "task-invocation graph has a cycle (network deadlock hazard)")
+                write!(
+                    f,
+                    "task-invocation graph has a cycle (network deadlock hazard)"
+                )
             }
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
@@ -70,7 +76,9 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(SimError::CyclicTaskGraph.to_string().contains("cycle"));
-        assert!(SimError::CheckFailed("boom".into()).to_string().contains("boom"));
+        assert!(SimError::CheckFailed("boom".into())
+            .to_string()
+            .contains("boom"));
         let e = SimError::Config(ConfigError::NoPus);
         assert!(e.to_string().contains("invalid configuration"));
     }

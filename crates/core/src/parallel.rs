@@ -135,9 +135,8 @@ pub(crate) fn drive<A: Application>(
             let mut handles = Vec::new();
             let mut rest = per_worker;
             let my_shards = rest.remove(0);
-            let (first_worker, rest_workers) = workers
-                .split_first_mut()
-                .expect("at least one worker");
+            let (first_worker, rest_workers) =
+                workers.split_first_mut().expect("at least one worker");
             for (widx, (worker, shards)) in rest_workers.iter_mut().zip(rest).enumerate() {
                 let shareds = shareds.clone();
                 let sync = &sync;

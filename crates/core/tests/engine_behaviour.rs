@@ -41,7 +41,10 @@ impl Application for Relay {
         if total == self.hops as u64 {
             Ok(())
         } else {
-            Err(format!("expected {} handled messages, got {total}", self.hops))
+            Err(format!(
+                "expected {} handled messages, got {total}",
+                self.hops
+            ))
         }
     }
 }
@@ -161,7 +164,10 @@ fn flood_delivers_everything_under_backpressure() {
     let c = &result.counters;
     assert_eq!(c.noc.injected, 63 * 8);
     assert_eq!(c.noc.ejected, 63 * 8);
-    assert!(c.noc.backpressure + c.noc.eject_stalls > 0, "expected contention");
+    assert!(
+        c.noc.backpressure + c.noc.eject_stalls > 0,
+        "expected contention"
+    );
 }
 
 #[test]
@@ -249,7 +255,10 @@ fn verbosity_v0_suppresses_frames() {
         .verbosity(Verbosity::V0)
         .build()
         .unwrap();
-    let result = Simulation::new(cfg, Relay { hops: 50 }).unwrap().run().unwrap();
+    let result = Simulation::new(cfg, Relay { hops: 50 })
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(result.frames.is_empty());
 }
 
@@ -307,7 +316,10 @@ fn failed_check_is_reported() {
             Err("deliberate".into())
         }
     }
-    let result = Simulation::new(small_cfg(), AlwaysWrong).unwrap().run().unwrap();
+    let result = Simulation::new(small_cfg(), AlwaysWrong)
+        .unwrap()
+        .run()
+        .unwrap();
     assert_eq!(result.check_error.as_deref(), Some("deliberate"));
 }
 
@@ -408,7 +420,11 @@ fn multiple_pus_per_tile_increase_throughput() {
             .pus_per_tile(pus)
             .build()
             .unwrap();
-        Simulation::new(cfg, Busy).unwrap().run().unwrap().runtime_cycles
+        Simulation::new(cfg, Busy)
+            .unwrap()
+            .run()
+            .unwrap()
+            .runtime_cycles
     };
     let one = run(1);
     let four = run(4);

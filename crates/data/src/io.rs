@@ -57,7 +57,12 @@ pub fn read_edge_list<R: Read>(reader: R, num_vertices: Option<u32>) -> io::Resu
 /// Propagates I/O errors from `writer`.
 pub fn write_edge_list<W: Write>(graph: &Csr, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# muchisim edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# muchisim edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (s, d, wt) in graph.iter_edges() {
         writeln!(w, "{s} {d} {wt}")?;
     }
@@ -96,7 +101,10 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a muchisim CSR file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a muchisim CSR file",
+        ));
     }
     let mut b4 = [0u8; 4];
     let mut b8 = [0u8; 8];
@@ -115,7 +123,7 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
         r.read_exact(&mut b4)?;
         cols.push(u32::from_le_bytes(b4));
     }
-    for k in 0..m as usize {
+    for (k, &dst) in cols.iter().enumerate() {
         r.read_exact(&mut b4)?;
         let val = f32::from_le_bytes(b4);
         // reconstruct (src, dst, w): find the row of slot k
@@ -129,7 +137,7 @@ pub fn read_csr_binary<R: Read>(reader: R) -> io::Result<Csr> {
             }
             Err(i) => i - 1,
         };
-        edges.push((src as u32, cols[k], val));
+        edges.push((src as u32, dst, val));
     }
     Ok(Csr::from_edges(n, &edges))
 }

@@ -56,11 +56,13 @@ impl Partition {
         let boundary = extra * (base + 1);
         if index < boundary {
             (index / (base + 1)) as u32
-        } else if base == 0 {
-            // len < parts: every element landed in the boundary region
-            unreachable!("index below len implies boundary covers it when base is 0")
         } else {
-            (extra + (index - boundary) / base) as u32
+            // base == 0 means len < parts and every element landed in the
+            // boundary region, so this division cannot be reached then
+            let off = (index - boundary)
+                .checked_div(base)
+                .expect("index below len implies boundary covers it when base is 0");
+            (extra + off) as u32
         }
     }
 

@@ -193,7 +193,7 @@ mod tests {
         // corner has degree 2, interior 4
         assert_eq!(g.degree(0), 2);
         assert_eq!(g.degree(5), 4); // (1,1)
-        // grid edges are symmetric
+                                    // grid edges are symmetric
         for (a, b, _) in g.iter_edges() {
             assert!(g.neighbors(b).contains(&a));
         }

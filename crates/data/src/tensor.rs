@@ -35,27 +35,36 @@ impl Complex {
         }
     }
 
-    /// Complex addition.
-    pub fn add(self, o: Complex) -> Complex {
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+
+    fn add(self, o: Complex) -> Complex {
         Complex::new(self.re + o.re, self.im + o.im)
     }
+}
 
-    /// Complex subtraction.
-    pub fn sub(self, o: Complex) -> Complex {
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+
+    fn sub(self, o: Complex) -> Complex {
         Complex::new(self.re - o.re, self.im - o.im)
     }
+}
 
-    /// Complex multiplication.
-    pub fn mul(self, o: Complex) -> Complex {
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+
+    fn mul(self, o: Complex) -> Complex {
         Complex::new(
             self.re * o.re - self.im * o.im,
             self.re * o.im + self.im * o.re,
         )
-    }
-
-    /// Squared magnitude.
-    pub fn norm_sq(self) -> f64 {
-        self.re * self.re + self.im * self.im
     }
 }
 
@@ -88,10 +97,10 @@ pub fn fft_in_place(data: &mut [Complex]) {
             let half = len / 2;
             for k in 0..half {
                 let u = chunk[k];
-                let v = chunk[k + half].mul(w);
-                chunk[k] = u.add(v);
-                chunk[k + half] = u.sub(v);
-                w = w.mul(wlen);
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * wlen;
             }
         }
         len <<= 1;
@@ -165,24 +174,24 @@ impl Tensor3 {
         let mut buf = vec![Complex::ZERO; n];
         for x in 0..n {
             for z in 0..n {
-                for y in 0..n {
-                    buf[y] = t.get(x, y, z);
+                for (y, b) in buf.iter_mut().enumerate() {
+                    *b = t.get(x, y, z);
                 }
                 fft_in_place(&mut buf);
-                for y in 0..n {
-                    t.set(x, y, z, buf[y]);
+                for (y, &b) in buf.iter().enumerate() {
+                    t.set(x, y, z, b);
                 }
             }
         }
         // FFT along x
         for y in 0..n {
             for z in 0..n {
-                for x in 0..n {
-                    buf[x] = t.get(x, y, z);
+                for (x, b) in buf.iter_mut().enumerate() {
+                    *b = t.get(x, y, z);
                 }
                 fft_in_place(&mut buf);
-                for x in 0..n {
-                    t.set(x, y, z, buf[x]);
+                for (x, &b) in buf.iter().enumerate() {
+                    t.set(x, y, z, b);
                 }
             }
         }
@@ -194,7 +203,7 @@ impl Tensor3 {
         self.data
             .iter()
             .zip(&other.data)
-            .map(|(a, b)| a.sub(*b).norm_sq())
+            .map(|(a, b)| (*a - *b).norm_sq())
             .sum::<f64>()
             .sqrt()
     }

@@ -39,8 +39,7 @@ impl AreaBreakdown {
     /// Computes the full area breakdown for `cfg`.
     pub fn from_config(cfg: &SystemConfig) -> Self {
         let p = &cfg.params.pu;
-        let growth =
-            |peak_ghz: f64| 1.0 + p.area_growth_per_freq * (peak_ghz - 1.0).max(0.0);
+        let growth = |peak_ghz: f64| 1.0 + p.area_growth_per_freq * (peak_ghz - 1.0).max(0.0);
         let pu = p.area_mm2 * growth(cfg.pu_clock.peak.as_ghz());
         let sram = cfg.sram_kib_per_tile as f64 / 1024.0 / cfg.params.sram.density_mb_per_mm2;
         let router_one = (p.router_base_area_mm2

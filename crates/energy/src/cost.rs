@@ -29,12 +29,7 @@ impl CostBreakdown {
     pub fn from_config(cfg: &SystemConfig, area: &AreaBreakdown) -> Self {
         let p = &cfg.params.cost;
         let die_mm2 = area.chiplet_mm2;
-        let gross = dies_per_wafer(
-            p.wafer_diameter_mm,
-            p.edge_loss_mm,
-            p.scribe_mm,
-            die_mm2,
-        );
+        let gross = dies_per_wafer(p.wafer_diameter_mm, p.edge_loss_mm, p.scribe_mm, die_mm2);
         let yield_ = murphy_yield(die_mm2, p.defect_density_per_mm2);
         let good = (gross as f64 * yield_).max(1e-9);
         // wafer-scale parts: one die per wafer, yield folded into cost
@@ -56,12 +51,9 @@ impl CostBreakdown {
                 + compute_die_usd * p.bonding_overhead_fraction
         } else {
             match cfg.interposer {
-                InterposerKind::SiliconInterposer => {
-                    compute_die_usd * p.si_interposer_fraction
-                }
+                InterposerKind::SiliconInterposer => compute_die_usd * p.si_interposer_fraction,
                 InterposerKind::OrganicSubstrate => {
-                    compute_die_usd
-                        * (p.organic_substrate_fraction + p.bonding_overhead_fraction)
+                    compute_die_usd * (p.organic_substrate_fraction + p.bonding_overhead_fraction)
                 }
             }
         };
@@ -122,7 +114,10 @@ mod tests {
     fn smaller_chiplets_cheaper_silicon() {
         // same total tiles, split into 4 chiplets vs monolithic: yield
         // gains make the 4-chiplet silicon cheaper
-        let mono = SystemConfig::builder().chiplet_tiles(64, 64).build().unwrap();
+        let mono = SystemConfig::builder()
+            .chiplet_tiles(64, 64)
+            .build()
+            .unwrap();
         let quad = SystemConfig::builder()
             .chiplet_tiles(32, 32)
             .package_chiplets(2, 2)
@@ -163,7 +158,10 @@ mod tests {
             .dram(DramConfig::default())
             .build()
             .unwrap();
-        let spm = SystemConfig::builder().chiplet_tiles(32, 32).build().unwrap();
+        let spm = SystemConfig::builder()
+            .chiplet_tiles(32, 32)
+            .build()
+            .unwrap();
         let a = cost_of(&dram);
         let b = cost_of(&spm);
         // same die, but dram packaging adds the interposer fraction

@@ -97,19 +97,17 @@ impl EnergyBreakdown {
             c.noc.total_flit_hops() as f64 * width * p.link.noc_router_energy_pj_per_bit;
         let noc_pj = (wire_pj + router_pj) * noc_scale;
 
-        let class_bits =
-            |class: LinkClass| c.noc.flit_hops(class) as f64 * width;
+        let class_bits = |class: LinkClass| c.noc.flit_hops(class) as f64 * width;
         let d2d_pj = class_bits(LinkClass::DieToDie) * p.link.d2d_energy_pj_per_bit;
         let off_package_pj = class_bits(LinkClass::OffPackage)
             * (p.link.d2d_energy_pj_per_bit + p.link.off_package_energy_pj_per_bit);
-        let inter_node_pj =
-            class_bits(LinkClass::InterNode) * p.link.inter_node_energy_pj_per_bit;
+        let inter_node_pj = class_bits(LinkClass::InterNode) * p.link.inter_node_energy_pj_per_bit;
 
         // leakage: PU leakage per PU plus SRAM leakage per active MB
         let tiles = cfg.total_tiles() as f64;
         let sram_mb = tiles * cfg.sram_kib_per_tile as f64 / 1024.0;
-        let leak_w = tiles * cfg.pus_per_tile as f64 * p.pu.leakage_w
-            + sram_mb * p.sram.leakage_w_per_mb;
+        let leak_w =
+            tiles * cfg.pus_per_tile as f64 * p.pu.leakage_w + sram_mb * p.sram.leakage_w_per_mb;
         let leakage_pj = leak_w * c.runtime_secs * 1e12;
 
         EnergyBreakdown {

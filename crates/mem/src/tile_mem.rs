@@ -50,9 +50,10 @@ impl TileMemory {
             MemoryConfig::Scratchpad => Mode::Scratchpad,
             MemoryConfig::Dram(d) => {
                 let line_bits = cfg.params.hbm.cacheline_bits;
-                let round_trip = cfg.pu_clock.operating.cycles_for_ps(
-                    TimePs::ns(cfg.params.hbm.ctrl_latency_ns).as_ps(),
-                );
+                let round_trip = cfg
+                    .pu_clock
+                    .operating
+                    .cycles_for_ps(TimePs::ns(cfg.params.hbm.ctrl_latency_ns).as_ps());
                 Mode::Cache {
                     cache: CacheModel::new(cfg.sram_kib_per_tile, line_bits, 4),
                     round_trip_cycles: round_trip,

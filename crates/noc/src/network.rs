@@ -75,6 +75,10 @@ impl NetworkParams {
     }
 }
 
+/// A single-producer cross-shard mailbox: packets handed from one shard's
+/// routers to another's, tagged with the destination tile and input port.
+pub(crate) type Mailbox = Mutex<Vec<(u32, InPort, Packet)>>;
+
 /// State shared by all shards: topology, the queue-occupancy table, and
 /// the single-producer cross-shard mailboxes.
 pub struct SharedNet {
@@ -83,7 +87,7 @@ pub struct SharedNet {
     /// Flits reserved per input queue (global queue id).
     pub occupancy: Vec<AtomicU32>,
     /// `mailboxes[consumer][producer]`.
-    mailboxes: Vec<Vec<Mutex<Vec<(u32, InPort, Packet)>>>>,
+    mailboxes: Vec<Vec<Mailbox>>,
     /// Shard owning each column.
     pub shard_of_col: Vec<u32>,
     /// Inject queue capacity in flits.
@@ -99,11 +103,7 @@ impl SharedNet {
     }
 
     /// The mailbox written by `producer` and drained by `consumer`.
-    pub(crate) fn mailbox(
-        &self,
-        consumer: usize,
-        producer: usize,
-    ) -> &Mutex<Vec<(u32, InPort, Packet)>> {
+    pub(crate) fn mailbox(&self, consumer: usize, producer: usize) -> &Mailbox {
         &self.mailboxes[consumer][producer]
     }
 
@@ -114,10 +114,7 @@ impl SharedNet {
 
     /// Whether every cross-shard mailbox is empty.
     pub fn mailboxes_empty(&self) -> bool {
-        self.mailboxes
-            .iter()
-            .flatten()
-            .all(|m| m.lock().is_empty())
+        self.mailboxes.iter().flatten().all(|m| m.lock().is_empty())
     }
 }
 
@@ -308,7 +305,7 @@ mod tests {
         assert_eq!(*tile, 63);
         assert_eq!(pkt.payload.as_slice(), &[42]);
         // 14 hops x 1 cycle + eject; allow small overhead
-        assert!(cycles >= 14 && cycles <= 20, "latency {cycles}");
+        assert!((14..=20).contains(&cycles), "latency {cycles}");
         let c = n.counters();
         assert_eq!(c.injected, 1);
         assert_eq!(c.ejected, 1);
@@ -319,7 +316,8 @@ mod tests {
     fn xy_routing_hop_count_counted() {
         let mut n = net(4, 4, 1);
         // (0,0) -> (3,2): 3 east + 2 south = 5 hops
-        n.inject(0, Packet::unicast(0, 11, 0, Payload::empty(), 1)).unwrap();
+        n.inject(0, Packet::unicast(0, 11, 0, Payload::empty(), 1))
+            .unwrap();
         let mut sink = DrainSink::default();
         run_to_empty(&mut n, &mut sink, 100);
         assert_eq!(n.counters().msg_hops, 5);
@@ -328,7 +326,8 @@ mod tests {
     #[test]
     fn local_delivery_without_hops() {
         let mut n = net(4, 4, 1);
-        n.inject(5, Packet::unicast(5, 5, 0, Payload::empty(), 1)).unwrap();
+        n.inject(5, Packet::unicast(5, 5, 0, Payload::empty(), 1))
+            .unwrap();
         let mut sink = DrainSink::default();
         run_to_empty(&mut n, &mut sink, 100);
         assert_eq!(n.counters().msg_hops, 0);
@@ -341,8 +340,11 @@ mod tests {
         let mut expected = 0u32;
         for src in 0..64u32 {
             for dst in [0u32, 17, 42, 63] {
-                n.inject(src, Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2))
-                    .unwrap();
+                n.inject(
+                    src,
+                    Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2),
+                )
+                .unwrap();
                 expected += 1;
             }
         }
@@ -360,8 +362,11 @@ mod tests {
             let mut n = net(8, 8, shards);
             for src in 0..64u32 {
                 let dst = (src * 7 + 3) % 64;
-                n.inject(src, Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2))
-                    .unwrap();
+                n.inject(
+                    src,
+                    Packet::unicast(src, dst, 0, Payload::from_slice(&[src]), 2),
+                )
+                .unwrap();
             }
             // record (arrival cycle, tile, payload); within-cycle sink
             // order depends on router iteration order, so sort per cycle
@@ -383,7 +388,10 @@ mod tests {
         assert_eq!(results[0].0, results[1].0, "drain cycle differs");
         assert_eq!(results[0].1, results[1].1, "per-cycle deliveries differ");
         assert_eq!(results[0].2.msg_hops, results[1].2.msg_hops);
-        assert_eq!(results[0].2.flit_hops_by_class, results[1].2.flit_hops_by_class);
+        assert_eq!(
+            results[0].2.flit_hops_by_class,
+            results[1].2.flit_hops_by_class
+        );
     }
 
     #[test]
@@ -403,7 +411,10 @@ mod tests {
         for round in 0..20u32 {
             for src in 0..36u32 {
                 let dst = (src.wrapping_mul(31).wrapping_add(round * 13)) % 36;
-                pending.push((src, Packet::unicast(src, dst, 0, Payload::from_slice(&[src, round]), 3)));
+                pending.push((
+                    src,
+                    Packet::unicast(src, dst, 0, Payload::from_slice(&[src, round]), 3),
+                ));
             }
         }
         while !pending.is_empty() || !n.is_empty() {
@@ -422,7 +433,10 @@ mod tests {
             });
             n.step(cycle, &mut sink);
             cycle += 1;
-            assert!(cycle < 100_000, "torus traffic did not drain (possible deadlock)");
+            assert!(
+                cycle < 100_000,
+                "torus traffic did not drain (possible deadlock)"
+            );
         }
         assert_eq!(sink.drained.len(), injected);
     }
@@ -438,14 +452,23 @@ mod tests {
         // funnel traffic from all tiles to tile 7 through one row
         for src in 0..7u32 {
             for _ in 0..4 {
-                let _ = n.inject(src, Packet::unicast(src, 7, 0, Payload::from_slice(&[src]), 2));
+                let _ = n.inject(
+                    src,
+                    Packet::unicast(src, 7, 0, Payload::from_slice(&[src]), 2),
+                );
             }
         }
         let mut sink = DrainSink::default();
         run_to_empty(&mut n, &mut sink, 10_000);
         let c = n.counters();
-        assert!(c.backpressure > 0, "expected backpressure with depth-1 buffers");
-        assert!(c.collisions > 0, "expected collisions funneling into one row");
+        assert!(
+            c.backpressure > 0,
+            "expected backpressure with depth-1 buffers"
+        );
+        assert!(
+            c.collisions > 0,
+            "expected collisions funneling into one row"
+        );
     }
 
     #[test]
@@ -475,8 +498,12 @@ mod tests {
             .unwrap();
         let mut n = Network::new(NetworkParams::from_system(&cfg), 1);
         // capacity = cq * 2 = 2 flits; 2-flit packets: first fits, second refused
-        assert!(n.inject(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[1]), 2)).is_ok());
-        assert!(n.inject(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[2]), 2)).is_err());
+        assert!(n
+            .inject(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[1]), 2))
+            .is_ok());
+        assert!(n
+            .inject(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[2]), 2))
+            .is_err());
     }
 
     #[test]
@@ -485,7 +512,8 @@ mod tests {
         let drain = |flits: u16| {
             let mut n = net(4, 1, 1);
             for _ in 0..8 {
-                n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), flits)).unwrap();
+                n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), flits))
+                    .unwrap();
             }
             let mut sink = DrainSink::default();
             run_to_empty(&mut n, &mut sink, 10_000)
@@ -517,7 +545,8 @@ mod tests {
             }
         }
         let mut n = net(4, 1, 1);
-        n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1)).unwrap();
+        n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1))
+            .unwrap();
         let mut sink = Stingy {
             accepted: 0,
             refuse_until: 5,
@@ -536,7 +565,8 @@ mod tests {
     #[test]
     fn busy_heatmap_collects_active_routers() {
         let mut n = net(4, 1, 1);
-        n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1)).unwrap();
+        n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1))
+            .unwrap();
         let mut sink = DrainSink::default();
         run_to_empty(&mut n, &mut sink, 100);
         let mut grid = vec![0u32; 4];
@@ -552,7 +582,7 @@ mod tests {
     fn shard_split_covers_all_columns() {
         let n = net(10, 2, 3);
         assert_eq!(n.num_shards(), 3);
-        let mut covered = vec![false; 10];
+        let mut covered = [false; 10];
         for s in &n.shards {
             for c in s.cols() {
                 assert!(!covered[c as usize]);

@@ -276,10 +276,10 @@ mod tests {
     fn combine_requires_matching_key() {
         let a = Packet::unicast(0, 9, 1, Payload::from_slice(&[7, 10]), 2)
             .with_reduce(ReduceOp::MinU32);
-        let b = Packet::unicast(3, 9, 1, Payload::from_slice(&[7, 4]), 2)
-            .with_reduce(ReduceOp::MinU32);
-        let c = Packet::unicast(3, 9, 1, Payload::from_slice(&[8, 4]), 2)
-            .with_reduce(ReduceOp::MinU32);
+        let b =
+            Packet::unicast(3, 9, 1, Payload::from_slice(&[7, 4]), 2).with_reduce(ReduceOp::MinU32);
+        let c =
+            Packet::unicast(3, 9, 1, Payload::from_slice(&[8, 4]), 2).with_reduce(ReduceOp::MinU32);
         assert!(a.can_combine(&b));
         assert!(!a.can_combine(&c));
         let mut a2 = a.clone();

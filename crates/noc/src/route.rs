@@ -90,11 +90,7 @@ pub fn decide(topo: &TopoInfo, cur: u32, in_port: InPort, vc: u8, dst: u32) -> R
             (OutDir::W, OutDir::RucheW, cx == 0)
         };
         if let Some(r) = topo.ruche_factor {
-            let in_grid = if dx > 0 {
-                cx + r < topo.width
-            } else {
-                cx >= r
-            };
+            let in_grid = if dx > 0 { cx + r < topo.width } else { cx >= r };
             if dx.unsigned_abs() >= r as u64 && in_grid {
                 return RouteDecision {
                     dir: ruche_dir,

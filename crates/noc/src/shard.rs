@@ -81,7 +81,11 @@ impl Shard {
     fn local_idx(&self, tile: u32, width: u32) -> usize {
         let x = tile % width;
         let y = tile / width;
-        debug_assert!(self.cols.contains(&x), "tile {tile} not in shard {}", self.idx);
+        debug_assert!(
+            self.cols.contains(&x),
+            "tile {tile} not in shard {}",
+            self.idx
+        );
         (y * (self.cols.end - self.cols.start) + (x - self.cols.start)) as usize
     }
 
@@ -100,7 +104,11 @@ impl Shard {
     /// Packets currently queued (including pending pushes).
     pub fn queued_packets(&self) -> u64 {
         self.pending_pushes.len() as u64
-            + self.routers.iter().map(|r| r.queued_msgs as u64).sum::<u64>()
+            + self
+                .routers
+                .iter()
+                .map(|r| r.queued_msgs as u64)
+                .sum::<u64>()
     }
 
     /// Injects a packet at `tile`'s local inject queue.
@@ -179,11 +187,16 @@ impl Shard {
             let tile = self.global_tile(local, width);
             // Compute each ready head's routing decision once.
             let mut decisions: [Option<route::RouteDecision>; IN_PORTS] = [None; IN_PORTS];
-            for port in 0..IN_PORTS {
+            for (port, dec) in decisions.iter_mut().enumerate() {
                 if let Some(head) = self.routers[local].queues[port].front() {
                     if head.ready_at <= cycle {
-                        decisions[port] =
-                            Some(route::decide(topo, tile, InPort::ALL[port], head.vc, head.dst));
+                        *dec = Some(route::decide(
+                            topo,
+                            tile,
+                            InPort::ALL[port],
+                            head.vc,
+                            head.dst,
+                        ));
                     }
                 }
             }
@@ -205,10 +218,8 @@ impl Shard {
                     continue; // link still serializing a previous message
                 }
                 self.counters.collisions += (n_cand - 1) as u64;
-                let pick = Self::round_robin_pick(
-                    &candidates[..n_cand],
-                    self.routers[local].rr_ptr[oi],
-                );
+                let pick =
+                    Self::round_robin_pick(&candidates[..n_cand], self.routers[local].rr_ptr[oi]);
                 self.routers[local].rr_ptr[oi] = pick as u8;
                 if out == OutDir::Eject {
                     let pkt = self.routers[local].pop(pick);

@@ -124,10 +124,7 @@ impl TopoInfo {
             OutDir::RucheW => (r > 0 && x >= r).then(|| (x - r, y)),
             OutDir::Eject => None,
         }?;
-        Some((
-            self.tile_at(dest.0, dest.1),
-            InPort::arrival_port(dir, vc),
-        ))
+        Some((self.tile_at(dest.0, dest.1), InPort::arrival_port(dir, vc)))
     }
 
     /// The physical link class crossed by hopping from `cur` via `dir`.
@@ -186,8 +183,7 @@ impl TopoInfo {
 /// area model; this local estimate only feeds wire-length latency/energy.)
 fn estimate_tile_pitch_mm(cfg: &SystemConfig) -> f64 {
     let p = &cfg.params.pu;
-    let sram_mm2 =
-        cfg.sram_kib_per_tile as f64 / 1024.0 / cfg.params.sram.density_mb_per_mm2;
+    let sram_mm2 = cfg.sram_kib_per_tile as f64 / 1024.0 / cfg.params.sram.density_mb_per_mm2;
     let peak_ghz = cfg.pu_clock.peak.as_ghz();
     let freq_growth = 1.0 + p.area_growth_per_freq * (peak_ghz - 1.0).max(0.0);
     let pu_mm2 = p.area_mm2 * cfg.pus_per_tile as f64 * freq_growth;
@@ -204,19 +200,29 @@ mod tests {
     use muchisim_config::SystemConfig;
 
     fn mesh_8x8() -> TopoInfo {
-        TopoInfo::from_system(
-            &SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap(),
-        )
+        TopoInfo::from_system(&SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap())
     }
 
     #[test]
     fn neighbors_mesh_interior() {
         let t = mesh_8x8();
         let c = t.tile_at(3, 3);
-        assert_eq!(t.neighbor(c, OutDir::N, 0), Some((t.tile_at(3, 2), InPort::FromS0)));
-        assert_eq!(t.neighbor(c, OutDir::S, 0), Some((t.tile_at(3, 4), InPort::FromN0)));
-        assert_eq!(t.neighbor(c, OutDir::E, 0), Some((t.tile_at(4, 3), InPort::FromW0)));
-        assert_eq!(t.neighbor(c, OutDir::W, 0), Some((t.tile_at(2, 3), InPort::FromE0)));
+        assert_eq!(
+            t.neighbor(c, OutDir::N, 0),
+            Some((t.tile_at(3, 2), InPort::FromS0))
+        );
+        assert_eq!(
+            t.neighbor(c, OutDir::S, 0),
+            Some((t.tile_at(3, 4), InPort::FromN0))
+        );
+        assert_eq!(
+            t.neighbor(c, OutDir::E, 0),
+            Some((t.tile_at(4, 3), InPort::FromW0))
+        );
+        assert_eq!(
+            t.neighbor(c, OutDir::W, 0),
+            Some((t.tile_at(2, 3), InPort::FromE0))
+        );
     }
 
     #[test]
@@ -298,7 +304,11 @@ mod tests {
     #[test]
     fn pitch_is_sub_millimeter_for_default_tile() {
         let t = mesh_8x8();
-        assert!(t.tile_pitch_mm > 0.1 && t.tile_pitch_mm < 1.0, "{}", t.tile_pitch_mm);
+        assert!(
+            t.tile_pitch_mm > 0.1 && t.tile_pitch_mm < 1.0,
+            "{}",
+            t.tile_pitch_mm
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ fn run_traffic(
         });
         net.step(cycle, &mut sink);
         cycle += 1;
-        assert!(cycle < limit, "network failed to drain within {limit} cycles");
+        assert!(
+            cycle < limit,
+            "network failed to drain within {limit} cycles"
+        );
     }
     (sink.drained, cycle)
 }

@@ -125,7 +125,8 @@ mod tests {
         let dir = std::env::temp_dir().join("muchisim_viz_test_frames");
         let _ = std::fs::remove_dir_all(&dir);
         let h = Heatmap::new(2, 2);
-        h.write_sequence(&dir, &[vec![0; 4], vec![1; 4]], 1).unwrap();
+        h.write_sequence(&dir, &[vec![0; 4], vec![1; 4]], 1)
+            .unwrap();
         assert!(dir.join("frame_000.ppm").exists());
         assert!(dir.join("frame_001.ppm").exists());
         let _ = std::fs::remove_dir_all(&dir);

@@ -29,14 +29,10 @@ pub struct FrameStats {
 }
 
 impl FrameStats {
-    fn from_grid(index: u64, start_cycle: u64, grid: &mut Vec<u32>) -> Self {
+    fn from_grid(index: u64, start_cycle: u64, grid: &mut [u32]) -> Self {
         let n = grid.len().max(1) as f64;
         let mean = grid.iter().map(|&v| v as f64).sum::<f64>() / n;
-        let var = grid
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n;
+        let var = grid.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
         grid.sort_unstable();
         let pick = |q: f64| grid[((grid.len() - 1) as f64 * q).round() as usize];
         FrameStats {
@@ -97,8 +93,7 @@ impl TimeSeries {
 
     /// Serializes to CSV with a header row.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("frame,start_cycle,mean,min,q1,median,q3,max,stddev\n");
+        let mut out = String::from("frame,start_cycle,mean,min,q1,median,q3,max,stddev\n");
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{:.4},{},{},{},{},{},{:.4}\n",

@@ -63,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // GUI-style time series with tail diagnosis
     let series = TimeSeries::from_frames(&result.frames, Counter::PuBusy, tiles);
     println!("\nPU-activity time series (CSV):\n{}", series.to_csv());
-    println!("tail imbalance (max/median across frames): {:.1}", series.tail_imbalance());
+    println!(
+        "tail imbalance (max/median across frames): {:.1}",
+        series.tail_imbalance()
+    );
     Ok(())
 }

@@ -37,9 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let label = format!("{}T/Ch {sram}KiB", chiplet * chiplet / 8);
         for app in apps {
             let result = run_benchmark(app, cfg.clone(), &graph, 8)?;
-            assert!(result.check_error.is_none(), "{app}: {:?}", result.check_error);
+            assert!(
+                result.check_error.is_none(),
+                "{app}: {:?}",
+                result.check_error
+            );
             let report = Report::from_counters(&cfg, &result.counters);
-            table.push(ReportRow::new(&label, app.label(), "RMAT-11", &result, &report));
+            table.push(ReportRow::new(
+                &label,
+                app.label(),
+                "RMAT-11",
+                &result,
+                &report,
+            ));
             saved.push((cfg.clone(), label.clone(), app, result));
         }
     }

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // the counters file: rerun post-processing later with new parameters
     let counters_path = std::path::Path::new("target").join("counters.json");
-    std::fs::write(&counters_path, serde_json::to_string_pretty(&result.counters)?)?;
+    std::fs::write(
+        &counters_path,
+        serde_json::to_string_pretty(&result.counters)?,
+    )?;
     println!("counters file written to {}", counters_path.display());
     Ok(())
 }

@@ -43,20 +43,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 5. Report.
     let report = Report::from_counters(&cfg, &result.counters);
     println!("\n-- performance --");
-    println!("DUT runtime:        {} ({} NoC cycles)", result.runtime, result.runtime_cycles);
-    println!("throughput:         {:.2} MTEPS", report.app_throughput / 1e6);
+    println!(
+        "DUT runtime:        {} ({} NoC cycles)",
+        result.runtime, result.runtime_cycles
+    );
+    println!(
+        "throughput:         {:.2} MTEPS",
+        report.app_throughput / 1e6
+    );
     println!("tasks executed:     {}", result.counters.pu.tasks_executed);
     println!("NoC message hops:   {}", result.counters.noc.msg_hops);
-    println!("host time:          {:.3} s on {} threads", result.host_seconds, result.host_threads);
-    println!("sim/DUT slowdown:   {:.0}x", result.slowdown_vs_dut() / cfg.total_tiles() as f64);
+    println!(
+        "host time:          {:.3} s on {} threads",
+        result.host_seconds, result.host_threads
+    );
+    println!(
+        "sim/DUT slowdown:   {:.0}x",
+        result.slowdown_vs_dut() / cfg.total_tiles() as f64
+    );
 
     println!("\n-- energy / area / cost --");
-    println!("total energy:       {:.3} uJ", report.energy.total_pj() / 1e6);
+    println!(
+        "total energy:       {:.3} uJ",
+        report.energy.total_pj() / 1e6
+    );
     println!("average power:      {:.2} W", report.average_power_w);
-    println!("power density:      {:.3} W/mm^2", report.power_density_w_mm2);
-    println!("chip area:          {:.1} mm^2", report.area.total_compute_mm2);
+    println!(
+        "power density:      {:.3} W/mm^2",
+        report.power_density_w_mm2
+    );
+    println!(
+        "chip area:          {:.1} mm^2",
+        report.area.total_compute_mm2
+    );
     println!("system cost:        ${:.0}", report.cost.total_usd);
-    println!("perf per watt:      {:.2} MTEPS/W", report.app_throughput / report.average_power_w / 1e6);
-    println!("perf per dollar:    {:.2} kTEPS/$", report.app_throughput / report.cost.total_usd / 1e3);
+    println!(
+        "perf per watt:      {:.2} MTEPS/W",
+        report.app_throughput / report.average_power_w / 1e6
+    );
+    println!(
+        "perf per dollar:    {:.2} kTEPS/$",
+        report.app_throughput / report.cost.total_usd / 1e3
+    );
     Ok(())
 }

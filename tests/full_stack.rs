@@ -32,10 +32,7 @@ fn dataset_to_report_pipeline() {
     let series = TimeSeries::from_frames(&result.frames, Counter::RouterBusy, tiles);
     assert_eq!(series.rows.len(), result.frames.len());
     let hm = Heatmap::new(cfg.width(), cfg.height());
-    let ascii = hm.ascii(
-        &result.frames.frames[0].router_grid(tiles),
-        500,
-    );
+    let ascii = hm.ascii(&result.frames.frames[0].router_grid(tiles), 500);
     assert_eq!(ascii.lines().count(), cfg.height() as usize);
 
     // comparison table
@@ -115,10 +112,7 @@ fn multi_chiplet_hierarchy_counts_boundary_crossings() {
 
 #[test]
 fn pagerank_multi_kernel_with_reduction_network() {
-    let cfg = SystemConfig::builder()
-        .chiplet_tiles(8, 8)
-        .build()
-        .unwrap();
+    let cfg = SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap();
     let graph = RmatConfig::scale(9).generate(5);
     let app = PageRank::new(graph, 64, 3).with_reduction(true);
     let result = Simulation::new(cfg, app).unwrap().run_parallel(4).unwrap();
@@ -134,7 +128,8 @@ fn frequency_ratio_between_domains() {
     // runtime in wall time
     let run = |noc_ghz: f64| {
         let mut b = SystemConfig::builder();
-        b.chiplet_tiles(8, 8).noc_clock(ClockDomain::at(Frequency::ghz(noc_ghz)));
+        b.chiplet_tiles(8, 8)
+            .noc_clock(ClockDomain::at(Frequency::ghz(noc_ghz)));
         let cfg = b.build().unwrap();
         let r = run_benchmark(Benchmark::Bfs, cfg, &graph, 1).unwrap();
         assert!(r.check_error.is_none());

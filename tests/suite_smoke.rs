@@ -1,0 +1,43 @@
+//! Workspace-level smoke test: every application of the paper's 8-app
+//! suite runs end to end — engine, NoC, memory, dataset, verifier — on a
+//! tiny 2×2-tile DUT, so CI exercises the whole stack on every push, not
+//! just per-crate unit tests.
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::SystemConfig;
+use muchisim::data::rmat::RmatConfig;
+
+#[test]
+fn all_eight_apps_verify_on_2x2() {
+    let graph = RmatConfig::scale(5).generate(7); // 32 vertices, 512 edges
+    for bench in Benchmark::ALL {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(2, 2)
+            .build()
+            .expect("2x2 config is valid");
+        let result = run_benchmark(bench, cfg, &graph, 1)
+            .unwrap_or_else(|e| panic!("{bench} failed to run: {e}"));
+        assert!(
+            result.check_error.is_none(),
+            "{bench} verifier failed: {:?}",
+            result.check_error
+        );
+        assert!(result.runtime_cycles > 0, "{bench} reported zero runtime");
+    }
+}
+
+#[test]
+fn suite_is_deterministic_across_thread_counts() {
+    // the paper's parallel driver promises bit-identical counters for any
+    // shard split; spot-check one app end to end through the umbrella crate
+    let graph = RmatConfig::scale(5).generate(11);
+    let run = |threads: usize| {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(2, 2)
+            .build()
+            .expect("2x2 config is valid");
+        run_benchmark(Benchmark::Bfs, cfg, &graph, threads).expect("bfs runs")
+    };
+    let (seq, par) = (run(1), run(2));
+    assert_eq!(seq.runtime_cycles, par.runtime_cycles);
+}

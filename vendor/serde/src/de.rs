@@ -1,0 +1,36 @@
+//! Deserialization errors.
+
+use crate::Value;
+
+/// Why a [`Value`] could not be turned into the requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a free-form message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// "expected X, got Y" for a mismatched value shape.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        Self::custom(format!("expected {what}, got {}", got.kind()))
+    }
+
+    /// A required field was absent from the serialized object.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        Self::custom(format!("missing field `{field}` for {ty}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}

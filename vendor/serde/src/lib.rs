@@ -1,0 +1,351 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal serde replacement. Instead of serde's
+//! generic `Serializer`/`Deserializer` visitors, everything converts
+//! through one self-describing [`Value`] tree (the `serde_json` shim then
+//! renders/parses JSON text). The `derive` feature re-exports
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` proc-macros that
+//! target these traits, so downstream code is source-compatible for the
+//! patterns this workspace uses (plain structs and enums, no field
+//! attributes).
+
+pub mod de;
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from `value`, or reports why it cannot.
+    fn from_value(value: &Value) -> Result<Self, de::DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Object(m)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+use de::DeError;
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| DeError::expected(stringify!($t), value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| DeError::expected(stringify!($t), value))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::custom(format!(
+                        "{n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("f64", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", value)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", value)),
+        }
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", value)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(value).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", value)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected(
+                        concat!("array of length ", stringify!($len)), value)),
+                }
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", value)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(m) => m
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("object", value)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}

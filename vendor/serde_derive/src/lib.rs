@@ -1,0 +1,414 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's `Value`-based traits. The input item is
+//! parsed directly from the `proc_macro` token stream (no `syn`/`quote`
+//! in an offline build), which is sufficient for the shapes this
+//! workspace derives on: non-generic structs (named, tuple, unit) and
+//! enums (unit, newtype, tuple, struct variants), with no `#[serde]`
+//! field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim) for a non-generic struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim) for a non-generic struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// struct S;
+    UnitStruct,
+    /// struct S(T0, T1, ...);  (field count)
+    TupleStruct(usize),
+    /// struct S { f0: T0, ... }
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (`{name}`)");
+    }
+
+    let kind = match kind_kw.as_str() {
+        "struct" => match tokens.get(i) {
+            None | Some(TokenTree::Punct(_)) => ItemKind::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde shim derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde shim derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Advances past outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // the `[...]` group
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` / `(super)` / `(in ...)`
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `f0: T0, f1: T1, ...`, returning the field names. Types are
+/// skipped with angle-bracket depth tracking so commas inside generics
+/// don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skips one type, stopping at a top-level `,` (or end of stream).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant payload.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_type(&tokens, &mut i);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                i += 1;
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                i += 1;
+                VariantFields::Named(names)
+            }
+            _ => VariantFields::Unit,
+        };
+        // skip an explicit discriminant `= expr`
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::NamedStruct(fields) => ser_named_body(fields, "self."),
+        ItemKind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(ser_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Builds an object value from `prefix`-qualified field accesses
+/// (`self.f` for structs, bare bindings for enum struct variants).
+fn ser_named_body(fields: &[String], prefix: &str) -> String {
+    let mut s = String::from("{ let mut m = ::serde::value::Map::new(); ");
+    for f in fields {
+        s.push_str(&format!(
+            "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})); "
+        ));
+    }
+    s.push_str("::serde::value::Value::Object(m) }");
+    s
+}
+
+fn ser_variant_arm(v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("Self::{vname} => ::serde::value::Value::String(\"{vname}\".to_string()),")
+        }
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(f0)".to_string()
+            } else {
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+            };
+            format!(
+                "Self::{vname}({}) => {{ let mut m = ::serde::value::Map::new(); \
+                 m.insert(\"{vname}\".to_string(), {payload}); \
+                 ::serde::value::Value::Object(m) }},",
+                binds.join(", ")
+            )
+        }
+        VariantFields::Named(fields) => {
+            let inner = ser_named_body(fields, "");
+            format!(
+                "Self::{vname} {{ {} }} => {{ let payload = {inner}; \
+                 let mut m = ::serde::value::Map::new(); \
+                 m.insert(\"{vname}\".to_string(), payload); \
+                 ::serde::value::Value::Object(m) }},",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!(
+            "match value {{ ::serde::value::Value::Null => Ok({name}), \
+             _ => Err(::serde::de::DeError::expected(\"null\", value)) }}"
+        ),
+        ItemKind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{ ::serde::value::Value::Array(items) if items.len() == {n} => \
+                 Ok({name}({})), \
+                 _ => Err(::serde::de::DeError::expected(\"array of length {n}\", value)) }}",
+                items.join(", ")
+            )
+        }
+        ItemKind::NamedStruct(fields) => de_named_body(name, name, fields, "value"),
+        ItemKind::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::value::Value) \
+                 -> ::core::result::Result<Self, ::serde::de::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Ok(Ctor { f: ..., ... })` from the object in expression `src`.
+fn de_named_body(ty: &str, ctor: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!(
+        "{{ let obj = {src}.as_object()\
+           .ok_or_else(|| ::serde::de::DeError::expected(\"object\", {src}))?; Ok({ctor} {{ "
+    );
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match obj.get(\"{f}\") {{ \
+               Some(v) => ::serde::Deserialize::from_value(v)?, \
+               None => return Err(::serde::de::DeError::missing_field(\"{ty}\", \"{f}\")), \
+             }}, "
+        ));
+    }
+    s.push_str("}) }");
+    s
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::from_value(payload)?)),"
+                )),
+                VariantFields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match payload {{ \
+                           ::serde::value::Value::Array(items) if items.len() == {n} => \
+                             Ok(Self::{vname}({})), \
+                           _ => Err(::serde::de::DeError::expected(\
+                                \"array of length {n}\", payload)) }},",
+                        items.join(", ")
+                    ))
+                }
+                VariantFields::Named(fields) => Some(format!(
+                    "\"{vname}\" => {},",
+                    de_named_body(name, &format!("Self::{vname}"), fields, "payload")
+                )),
+            }
+        })
+        .collect();
+
+    format!(
+        "match value {{ \
+           ::serde::value::Value::String(s) => match s.as_str() {{ \
+             {} \
+             other => Err(::serde::de::DeError::custom(format!(\
+                 \"unknown variant `{{other}}` for {name}\"))), \
+           }}, \
+           ::serde::value::Value::Object(m) if m.len() == 1 => {{ \
+             let (tag, payload) = m.iter().next().expect(\"len checked\"); \
+             match tag.as_str() {{ \
+               {} \
+               other => Err(::serde::de::DeError::custom(format!(\
+                   \"unknown variant `{{other}}` for {name}\"))), \
+             }} \
+           }}, \
+           _ => Err(::serde::de::DeError::expected(\"enum variant\", value)), \
+         }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}
