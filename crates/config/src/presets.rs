@@ -3,8 +3,20 @@
 //! Each preset is a starting point the builder can refine; JSON
 //! round-tripping ([`SystemConfig`] is fully serde-enabled) covers the
 //! file-based workflow.
+//!
+//! All presets leave the time-leaping cycle driver at its default
+//! (enabled); [`lockstep`] flips any preset back to the one-cycle-at-a-time
+//! driver for host-performance ablations — results are bit-identical
+//! either way.
 
 use crate::system::{DramConfig, NocTopology, SystemConfig, SystemConfigBuilder};
+
+/// Reconfigures `preset` to use the lockstep (non-leaping) cycle driver,
+/// the ablation counterpart of the default time-leaping driver.
+pub fn lockstep(mut preset: SystemConfigBuilder) -> SystemConfigBuilder {
+    preset.time_leap(false);
+    preset
+}
 
 /// A Cerebras-WSE-like wafer: one monolithic die of `side × side` tiles,
 /// 48 KiB of SRAM per tile (scratchpad), a 32-bit 2D mesh (paper §IV-A).
@@ -59,11 +71,21 @@ pub fn to_json(cfg: &SystemConfig) -> String {
 
 /// Loads a configuration from JSON and validates it.
 ///
+/// Config files written before the `time_leap` knob existed lack that
+/// field; it defaults to `true` here (the vendored serde shim has no
+/// per-field default mechanism).
+///
 /// # Errors
 ///
 /// Returns a message for malformed JSON or invalid configurations.
 pub fn from_json(json: &str) -> Result<SystemConfig, String> {
-    let cfg: SystemConfig = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let mut value: serde::value::Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    if let serde::value::Value::Object(obj) = &mut value {
+        if obj.get("time_leap").is_none() {
+            obj.insert("time_leap".to_string(), serde::value::Value::Bool(true));
+        }
+    }
+    let cfg: SystemConfig = serde::Deserialize::from_value(&value).map_err(|e| e.to_string())?;
     cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
@@ -83,6 +105,14 @@ mod tests {
     }
 
     #[test]
+    fn presets_default_to_time_leaping_driver() {
+        assert!(wse_like(8).build().unwrap().time_leap);
+        assert!(hbm_chiplet_baseline().build().unwrap().time_leap);
+        let off = lockstep(dalorex_like(8)).build().unwrap();
+        assert!(!off.time_leap);
+    }
+
+    #[test]
     fn presets_are_refinable() {
         let cfg = wse_like(16).pus_per_tile(2).build().unwrap();
         assert_eq!(cfg.pus_per_tile, 2);
@@ -95,6 +125,17 @@ mod tests {
         let json = to_json(&cfg);
         let back = from_json(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn json_without_time_leap_field_defaults_on() {
+        // a config file written before the knob existed still loads
+        let cfg = wse_like(8).build().unwrap();
+        let json = to_json(&cfg).replace("\"time_leap\": true,", "");
+        assert!(!json.contains("time_leap"), "field not stripped: {json}");
+        let back = from_json(&json).unwrap();
+        assert!(back.time_leap);
+        assert_eq!(back.sram_kib_per_tile, cfg.sram_kib_per_tile);
     }
 
     #[test]

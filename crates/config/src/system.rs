@@ -234,6 +234,14 @@ pub struct SystemConfig {
     pub inter_node_link_mux: u32,
     /// Statistic-frame length in NoC cycles (paper §III-D "frames").
     pub frame_interval_cycles: u64,
+    /// Whether the cycle driver may leap over provably event-free cycle
+    /// ranges instead of stepping them one by one.
+    ///
+    /// Leaping is an exact host-time optimization: results (runtime
+    /// cycles, every counter, every statistics frame) are bit-identical
+    /// with the knob on or off. It exists so ablation studies can measure
+    /// the lockstep driver, and as a kill switch (`MUCHISIM_NO_LEAP`).
+    pub time_leap: bool,
     /// Output verbosity.
     pub verbosity: Verbosity,
     /// Transistor technology node in nm (paper default: 7).
@@ -257,6 +265,7 @@ impl Default for SystemConfig {
             interposer: InterposerKind::default(),
             inter_node_link_mux: 1,
             frame_interval_cycles: 40_000,
+            time_leap: true,
             verbosity: Verbosity::default(),
             technology_nm: 7,
             params: ModelParams::default(),
@@ -576,6 +585,12 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enables or disables the time-leaping cycle driver (default on).
+    pub fn time_leap(&mut self, enabled: bool) -> &mut Self {
+        self.cfg.time_leap = enabled;
+        self
+    }
+
     /// Sets the output verbosity.
     pub fn verbosity(&mut self, v: Verbosity) -> &mut Self {
         self.cfg.verbosity = v;
@@ -738,6 +753,16 @@ mod tests {
         let json = serde_json::to_string_pretty(&cfg).unwrap();
         let back: SystemConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn time_leap_defaults_on_and_is_toggleable() {
+        assert!(SystemConfig::default().time_leap);
+        let cfg = SystemConfig::builder().time_leap(false).build().unwrap();
+        assert!(!cfg.time_leap);
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.time_leap);
     }
 
     #[test]

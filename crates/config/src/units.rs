@@ -57,6 +57,16 @@ impl Frequency {
         1e12 / self.0
     }
 
+    /// The clock period in integer femtoseconds (rounded, never zero).
+    ///
+    /// The engine's hot loop compares PU and NoC clock instants in this
+    /// integer domain so that dispatch eligibility and time-leap horizons
+    /// are computed with the exact same arithmetic and can never disagree
+    /// by a floating-point ulp.
+    pub fn period_fs(self) -> u64 {
+        (self.period_ps() * 1e3).round().max(1.0) as u64
+    }
+
     /// Converts a duration in picoseconds to a whole number of cycles of
     /// this clock, rounding up (a partial cycle still occupies the cycle).
     pub fn cycles_for_ps(self, ps: f64) -> u64 {
@@ -320,6 +330,14 @@ mod tests {
         assert_eq!(f.cycles_for_ps(1000.0), 1);
         assert_eq!(f.cycles_for_ps(1001.0), 2);
         assert_eq!(f.ps_for_cycles(3), 3000.0);
+    }
+
+    #[test]
+    fn frequency_period_fs_integer_domain() {
+        assert_eq!(Frequency::ghz(1.0).period_fs(), 1_000_000);
+        assert_eq!(Frequency::ghz(2.0).period_fs(), 500_000);
+        // non-integer-ps period rounds to the nearest femtosecond
+        assert_eq!(Frequency::ghz(1.5).period_fs(), 666_667);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
 use crate::counters::SimCounters;
 use crate::error::SimError;
 use crate::frames::{Frame, FrameLog};
+use crate::horizon::ClockConv;
 use crate::slice::ColSlice;
 use crate::tile::{SimResult, TileEngine};
 use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
@@ -30,14 +31,25 @@ pub struct Simulation<A: Application> {
 impl<A: Application> Simulation<A> {
     /// Validates the configuration and application and builds a simulation.
     ///
+    /// If the `MUCHISIM_NO_LEAP` environment variable is set, the
+    /// time-leaping driver is disabled regardless of
+    /// `SystemConfig::time_leap` (results are bit-identical either way;
+    /// only host time changes).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Config`] for invalid configurations,
     /// [`SimError::TooManyTaskTypes`], or [`SimError::CyclicTaskGraph`] if
     /// the application's task-invocation graph has a loop (forbidden by
     /// the paper's deadlock-avoidance rule, §III-B).
-    pub fn new(cfg: SystemConfig, app: A) -> Result<Self, SimError> {
+    pub fn new(mut cfg: SystemConfig, app: A) -> Result<Self, SimError> {
         cfg.validate()?;
+        // kill switch for the time-leaping driver: lets CI (and bug
+        // bisection) run the whole suite through the lockstep path
+        // without touching every call site
+        if std::env::var_os("MUCHISIM_NO_LEAP").is_some() {
+            cfg.time_leap = false;
+        }
         let n = app.task_types();
         if n > MAX_TASK_TYPES {
             return Err(SimError::TooManyTaskTypes { declared: n });
@@ -129,8 +141,9 @@ pub(crate) struct Worker<A: Application> {
     grid: GridInfo,
     kernel: u32,
     cq_capacity: u32,
-    pu_period_ps: f64,
-    noc_period_ps: f64,
+    /// Integer-femtosecond PU/NoC clock conversions (shared by dispatch
+    /// eligibility, CQ readiness, and time-leap horizons).
+    pub clock: ClockConv,
     flit_bytes: u32,
     planes: usize,
     verbosity: Verbosity,
@@ -138,8 +151,13 @@ pub(crate) struct Worker<A: Application> {
     pointer_prefetch: bool,
     /// Pending work: IQ + CQ messages + pending init tasks.
     pub msg_count: i64,
-    /// Latest PU completion time seen, in picoseconds.
-    pub max_pu_ps: f64,
+    /// Running min of this cycle's tile-layer horizons (next PU dispatch,
+    /// next CQ-head maturity, fresh deliveries), folded incrementally by
+    /// the phase methods so `horizon` needs no extra sweep. Reset by
+    /// `pu_phase`; NoC-cycle domain, may be in the past (clamped later).
+    tile_horizon: u64,
+    /// Latest PU completion time seen, in femtoseconds.
+    pub max_pu_fs: u64,
     /// Completed statistics frames.
     pub frames: FrameLog,
     frame_tasks: u64,
@@ -195,15 +213,15 @@ impl<A: Application> Worker<A> {
             grid,
             kernel: 0,
             cq_capacity: cfg.queues.cq_capacity,
-            pu_period_ps: cfg.pu_clock.operating.period_ps(),
-            noc_period_ps: cfg.noc_clock.operating.period_ps(),
+            clock: ClockConv::from_system(cfg),
             flit_bytes: cfg.flit_bytes(),
             planes: cfg.noc.num_physical.max(1) as usize,
             verbosity: cfg.verbosity,
             frame_interval: cfg.frame_interval_cycles.max(1),
             pointer_prefetch,
             msg_count: 0,
-            max_pu_ps: 0.0,
+            tile_horizon: u64::MAX,
+            max_pu_fs: 0,
             frames: FrameLog::new(cfg.frame_interval_cycles.max(1)),
             frame_tasks: 0,
             frame_injected: 0,
@@ -225,8 +243,8 @@ impl<A: Application> Worker<A> {
     /// Dispatches ready tasks on every PU whose clock has been caught up
     /// by the network time (paper §III-C synchronization rule).
     pub fn pu_phase(&mut self, app: &A, cycle: u64) {
-        let now_ps = cycle as f64 * self.noc_period_ps;
-        let now_pu = (now_ps / self.pu_period_ps).floor() as u64;
+        self.tile_horizon = u64::MAX;
+        let now_pu = self.clock.pu_cycle_floor(cycle);
         for local in 0..self.tiles.len() {
             if !self.tiles[local].has_work() {
                 continue;
@@ -242,7 +260,7 @@ impl<A: Application> Worker<A> {
             loop {
                 let t = &mut self.tiles[local];
                 let pu = t.earliest_pu();
-                if t.pu_clock[pu] as f64 * self.pu_period_ps > now_ps {
+                if !self.clock.pu_ready(t.pu_clock[pu], cycle) {
                     break;
                 }
                 let start = t.pu_clock[pu].max(now_pu);
@@ -309,9 +327,9 @@ impl<A: Application> Worker<A> {
                     .busy_frame
                     .saturating_add(duration.min(u32::MAX as u64) as u32);
                 self.frame_tasks += 1;
-                let end_ps = end as f64 * self.pu_period_ps;
-                if end_ps > self.max_pu_ps {
-                    self.max_pu_ps = end_ps;
+                let end_fs = self.clock.pu_cycle_fs(end);
+                if end_fs > self.max_pu_fs {
+                    self.max_pu_fs = end_fs;
                 }
                 // drain produced messages into IQs (local) / CQs (remote)
                 for msg in self.sends.drain(..) {
@@ -327,6 +345,12 @@ impl<A: Application> Worker<A> {
                     }
                 }
             }
+            // tasks left undispatched wait on the earliest PU clock
+            let t = &self.tiles[local];
+            if t.has_work() {
+                let pu = t.pu_clock[t.earliest_pu()];
+                self.tile_horizon = self.tile_horizon.min(self.clock.noc_cycle_for_pu(pu));
+            }
         }
     }
 
@@ -340,9 +364,10 @@ impl<A: Application> Worker<A> {
             let t = &mut self.tiles[local];
             for task in 0..t.cqs.len() {
                 while let Some(head) = t.cqs[task].front() {
-                    let ready_ps = head.at_pu_cycle as f64 * self.pu_period_ps;
-                    let ready_noc = (ready_ps / self.noc_period_ps).ceil() as u64;
+                    let ready_noc = self.clock.noc_cycle_for_pu(head.at_pu_cycle);
                     if ready_noc > cycle {
+                        // immature head: it matures at ready_noc
+                        self.tile_horizon = self.tile_horizon.min(ready_noc);
                         break;
                     }
                     let plane = task % self.planes;
@@ -366,7 +391,11 @@ impl<A: Application> Worker<A> {
                             self.msg_count -= 1;
                             self.frame_injected += 1;
                         }
-                        Err(_) => break,
+                        Err(_) => {
+                            // inject queue full: the head retries next cycle
+                            self.tile_horizon = self.tile_horizon.min(cycle + 1);
+                            break;
+                        }
                     }
                 }
             }
@@ -380,6 +409,8 @@ impl<A: Application> Worker<A> {
             slice: &self.slice,
             msg_count: &mut self.msg_count,
             delivered: &mut self.frame_ejected,
+            tile_horizon: &mut self.tile_horizon,
+            clock: self.clock,
         };
         for (shard, shared) in shards.iter_mut().zip(shareds) {
             shard.step(shared, cycle, &mut sink);
@@ -432,6 +463,76 @@ impl<A: Application> Worker<A> {
         self.frames.frames.push(frame);
     }
 
+    /// Closes the kernel's last partial statistics frame at drain cycle
+    /// `cycle`.
+    ///
+    /// When the kernel drains exactly on a frame boundary, `frame_tick`
+    /// has already closed the frame covering `cycle`; re-capturing would
+    /// push an empty duplicate with the same `start_cycle`.
+    pub fn close_kernel_frame(&mut self, shards: &mut [&mut Shard], cycle: u64) {
+        if self.verbosity == Verbosity::V0 || (cycle + 1).is_multiple_of(self.frame_interval) {
+            return;
+        }
+        self.capture_frame(shards, cycle - cycle % self.frame_interval);
+    }
+
+    /// This worker's next-event horizon after finishing `cycle`: the
+    /// earliest future NoC cycle at which any of its tiles, DRAM
+    /// channels, or NoC shards can act, or `u64::MAX` if the slice is
+    /// completely idle. Never less than `cycle + 1`.
+    ///
+    /// The tile layer's horizon was folded incrementally while `pu_phase`,
+    /// `inject_phase`, and `net_step` swept the tiles anyway, so dense
+    /// cycles (tile horizon already at `cycle + 1`) decide in O(1) and
+    /// never touch the NoC shards. Cross-shard mailboxes are deliberately
+    /// *not* folded in here — other workers may still be writing them;
+    /// the driver's leader action adds them after the step barrier.
+    pub fn horizon(&self, shards: &[&mut Shard], cycle: u64) -> u64 {
+        let floor = cycle + 1;
+        let mut horizon = self.tile_horizon;
+        if horizon <= floor {
+            return floor;
+        }
+        let now_pu = self.clock.pu_cycle_floor(cycle);
+        for ch in &self.channels {
+            if let Some(pu) = ch.next_event_cycle(now_pu) {
+                horizon = horizon.min(self.clock.noc_cycle_for_pu(pu));
+            }
+        }
+        for shard in shards.iter() {
+            if horizon <= floor {
+                return floor;
+            }
+            if let Some(c) = shard.next_event_cycle(cycle) {
+                horizon = horizon.min(c);
+            }
+        }
+        horizon.max(floor)
+    }
+
+    /// Applies the side effects the lockstep driver would have produced
+    /// while stepping through the skipped cycles `(cycle, next)`: batch
+    /// CQ-stall accounting for backpressured tiles (their state is
+    /// frozen across the gap, so the per-cycle increment is constant)
+    /// and backfilled statistics frames at every crossed boundary.
+    pub fn leap_to(&mut self, shards: &mut [&mut Shard], cycle: u64, next: u64) {
+        let skipped = next - cycle - 1;
+        if skipped == 0 {
+            return;
+        }
+        for t in &mut self.tiles {
+            if t.has_work() && t.cq_over(self.cq_capacity) {
+                t.counters.cq_stall_cycles += skipped;
+            }
+        }
+        if self.verbosity == Verbosity::V0 {
+            return;
+        }
+        for start in self.frames.lockstep_capture_starts(cycle, next) {
+            self.capture_frame(shards, start);
+        }
+    }
+
     /// Merges this worker's tile counters into `total`.
     pub fn merge_counters(&self, total: &mut SimCounters) {
         for t in &self.tiles {
@@ -456,6 +557,8 @@ struct IqSink<'a> {
     slice: &'a ColSlice,
     msg_count: &'a mut i64,
     delivered: &'a mut u64,
+    tile_horizon: &'a mut u64,
+    clock: ClockConv,
 }
 
 impl EjectSink for IqSink<'_> {
@@ -470,6 +573,9 @@ impl EjectSink for IqSink<'_> {
         t.iq_msgs += 1;
         *self.msg_count += 1;
         *self.delivered += 1;
+        // the delivery may be dispatchable as soon as a PU frees up
+        let pu = t.pu_clock[t.earliest_pu()];
+        *self.tile_horizon = (*self.tile_horizon).min(self.clock.noc_cycle_for_pu(pu));
         Ok(())
     }
 }

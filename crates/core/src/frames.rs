@@ -89,6 +89,30 @@ impl FrameLog {
         self.frames.is_empty()
     }
 
+    /// The `start_cycle`s of the frames a lockstep driver would have
+    /// closed while stepping through the open interval
+    /// `(after_cycle, next_cycle)`, in order.
+    ///
+    /// The cycle driver closes a frame at the end of every cycle `c` with
+    /// `(c + 1) % interval == 0`; when the time-leaping driver jumps from
+    /// `after_cycle` straight to `next_cycle` it must backfill exactly
+    /// these captures so V1+ frame logs stay bit-identical. (The first
+    /// backfilled frame flushes whatever deltas accumulated before the
+    /// leap; the rest are idle frames, which the lockstep driver records
+    /// too.)
+    pub fn lockstep_capture_starts(
+        &self,
+        after_cycle: u64,
+        next_cycle: u64,
+    ) -> impl Iterator<Item = u64> {
+        let interval = self.interval_cycles.max(1);
+        // captures happen at cycles c = m*interval - 1 for m >= 1;
+        // we need those with after_cycle < c < next_cycle
+        let first = (after_cycle + 2).div_ceil(interval).max(1);
+        let last = next_cycle / interval; // m*interval - 1 <= next_cycle - 1
+        (first..=last).map(move |m| (m - 1) * interval)
+    }
+
     /// Merges a per-worker partial log into this one (frame-by-frame).
     pub fn merge(&mut self, other: &FrameLog) {
         for (i, f) in other.frames.iter().enumerate() {
@@ -147,6 +171,23 @@ mod tests {
         assert_eq!(a.len(), 2);
         assert_eq!(a.frames[0].pu_grid(2), vec![1, 2]);
         assert_eq!(a.frames[1].pu_grid(2), vec![0, 3]);
+    }
+
+    #[test]
+    fn lockstep_capture_starts_match_per_cycle_stepping() {
+        for interval in [1u64, 3, 64] {
+            let log = FrameLog::new(interval);
+            for after in 0..50u64 {
+                for next in after + 1..after + 80 {
+                    let got: Vec<u64> = log.lockstep_capture_starts(after, next).collect();
+                    let want: Vec<u64> = (after + 1..next)
+                        .filter(|c| (c + 1).is_multiple_of(interval))
+                        .map(|c| c + 1 - interval)
+                        .collect();
+                    assert_eq!(got, want, "interval {interval} after {after} next {next}");
+                }
+            }
+        }
     }
 
     #[test]

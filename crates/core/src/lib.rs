@@ -24,7 +24,12 @@
 //! with message timestamps keeping the two consistent (paper §III-C). The
 //! [`Simulation::run`] driver is single-threaded; [`Simulation::run_parallel`]
 //! slices the tile grid by columns across host threads (one shard per
-//! thread) and produces **bit-identical** results.
+//! thread) and produces **bit-identical** results. By default the driver
+//! is *time-leaping*: every layer holding latent work exposes an
+//! [`EventHorizon`] and the driver jumps over provably event-free cycle
+//! ranges, which is again bit-identical to stepping them (disable via
+//! `SystemConfig::time_leap` or the `MUCHISIM_NO_LEAP` environment
+//! variable to measure the lockstep driver).
 //!
 //! # Example: ping-pong across the grid
 //!
@@ -67,6 +72,7 @@ mod counters;
 mod engine;
 mod error;
 mod frames;
+mod horizon;
 mod parallel;
 mod sched;
 mod slice;
@@ -77,5 +83,6 @@ pub use counters::{PuCounters, SimCounters};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use frames::{Frame, FrameLog};
+pub use horizon::EventHorizon;
 pub use muchisim_noc::ReduceOp;
 pub use tile::SimResult;

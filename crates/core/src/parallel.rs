@@ -8,9 +8,22 @@
 //!    state); then the worker dispatches ready tasks on its tiles and
 //!    injects ready channel-queue heads into its own shards.
 //! 2. *(barrier)* **step phase** — every shard routes one cycle; ejected
-//!    packets land in the worker's input queues.
-//! 3. *(barrier, last arriver decides)* global quiescence (no queued
-//!    messages anywhere + empty network) or cycle-limit stop.
+//!    packets land in the worker's input queues; each worker publishes
+//!    its activity count and (leap mode) its next-event horizon.
+//! 3. *(barrier, last arriver decides)* **decision phase** — global
+//!    quiescence (no queued messages anywhere + empty network),
+//!    cycle-limit stop, or the next cycle to execute.
+//!
+//! In the default *time-leaping* mode ([`SystemConfig::time_leap`]) the
+//! decision phase min-reduces the per-worker
+//! [`EventHorizon`](crate::horizon::EventHorizon) values
+//! (tile PU clocks, channel-queue heads, DRAM backlogs, NoC queue heads)
+//! plus the cross-shard mailbox horizon, and when the earliest possible
+//! event is more than one cycle away it jumps the clock straight there.
+//! Skipped cycles are provably event-free, so the jump is exact: workers
+//! backfill the statistics frames and batch the stall counters the
+//! lockstep driver would have produced, and results stay bit-identical
+//! (see `Worker::leap_to`).
 //!
 //! Because every inter-worker interaction is confined to barrier-separated
 //! phases and single-producer queues, a run with N workers is
@@ -81,8 +94,13 @@ struct SyncState {
     limit_hit: AtomicBool,
     /// Per-worker pending-message counts, published each cycle.
     activity: Vec<AtomicI64>,
-    /// Per-worker max PU completion time (f64 bits), published at kernel end.
-    max_pu_bits: Vec<AtomicU64>,
+    /// Per-worker next-event horizons, published each cycle in leap mode.
+    horizon: Vec<AtomicU64>,
+    /// The next cycle to execute, decided by the leader (leap mode).
+    next_cycle: AtomicU64,
+    /// Per-worker max PU completion time in femtoseconds, published at
+    /// kernel end.
+    max_pu_fs: Vec<AtomicU64>,
     /// Cycle at which the current kernel drained.
     drained_cycle: AtomicU64,
 }
@@ -94,7 +112,9 @@ impl SyncState {
             stop: AtomicBool::new(false),
             limit_hit: AtomicBool::new(false),
             activity: (0..n).map(|_| AtomicI64::new(0)).collect(),
-            max_pu_bits: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            horizon: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            next_cycle: AtomicU64::new(0),
+            max_pu_fs: (0..n).map(|_| AtomicU64::new(0)).collect(),
             drained_cycle: AtomicU64::new(0),
         }
     }
@@ -116,7 +136,7 @@ pub(crate) fn drive<A: Application>(
     let sync = SyncState::new(nworkers);
     let termination = cfg.termination_latency_cycles();
     let kernels = app.kernels();
-    let noc_period = cfg.noc_clock.operating.period_ps();
+    let leap = cfg.time_leap;
     let runtime_cycles;
     {
         // hand each worker its shard of every NoC plane
@@ -152,7 +172,7 @@ pub(crate) fn drive<A: Application>(
                         kernels,
                         cycle_limit,
                         termination,
-                        noc_period,
+                        leap,
                         widx + 1,
                         nworkers,
                     );
@@ -168,7 +188,7 @@ pub(crate) fn drive<A: Application>(
                 kernels,
                 cycle_limit,
                 termination,
-                noc_period,
+                leap,
                 0,
                 nworkers,
             );
@@ -204,7 +224,7 @@ fn worker_loop<A: Application>(
     kernels: u32,
     cycle_limit: u64,
     termination: u64,
-    noc_period_ps: f64,
+    leap: bool,
     widx: usize,
     nworkers: usize,
 ) {
@@ -225,6 +245,10 @@ fn worker_loop<A: Application>(
             worker.net_step(&mut shards, shareds, cycle);
             worker.frame_tick(&mut shards, cycle);
             sync.activity[widx].store(worker.msg_count, Ordering::Release);
+            if leap {
+                let h = worker.horizon(&shards, cycle);
+                sync.horizon[widx].store(h, Ordering::Release);
+            }
             // decision phase: the last thread to arrive decides
             sync.barrier.wait_leader(&mut sense, || {
                 let pending: i64 = (0..nworkers)
@@ -238,24 +262,58 @@ fn worker_loop<A: Application>(
                     sync.limit_hit.store(true, Ordering::Release);
                     sync.drained_cycle.store(cycle, Ordering::Release);
                     sync.stop.store(true, Ordering::Release);
+                } else if leap {
+                    // min-reduce the published horizons and jump if
+                    // nothing can happen sooner; the cap keeps the
+                    // cycle-limit check exact
+                    let mut next = (0..nworkers)
+                        .map(|i| sync.horizon[i].load(Ordering::Acquire))
+                        .min()
+                        .unwrap_or(u64::MAX);
+                    if next == u64::MAX {
+                        next = cycle + 1; // defensive: pending work implies a horizon
+                    }
+                    if next > cycle + 1 {
+                        // cross-shard mailboxes (only readable after the
+                        // step barrier) can only shorten a prospective
+                        // leap — their horizons are >= cycle + 1, so the
+                        // locking scan is skipped when no leap is on the
+                        // table
+                        for shared in shareds {
+                            if let Some(c) = shared.mailbox_next_event_cycle(cycle) {
+                                next = next.min(c);
+                            }
+                        }
+                    }
+                    next = next.min(base.saturating_add(cycle_limit));
+                    sync.next_cycle.store(next, Ordering::Release);
                 }
             });
             if sync.stop.load(Ordering::Acquire) {
                 break;
             }
-            cycle += 1;
+            let next = if leap {
+                sync.next_cycle.load(Ordering::Acquire)
+            } else {
+                cycle + 1
+            };
+            if next > cycle + 1 {
+                worker.leap_to(&mut shards, cycle, next);
+            }
+            cycle = next;
         }
-        // close the kernel's last partial frame
-        let frame_start = cycle - (cycle % worker.frames.interval_cycles.max(1));
-        worker.capture_frame(&mut shards, frame_start);
+        // close the kernel's last partial frame (skipping the re-capture
+        // when the kernel drained exactly on a frame boundary)
+        worker.close_kernel_frame(&mut shards, cycle);
         // publish this worker's PU tail and compute the kernel barrier
-        sync.max_pu_bits[widx].store(worker.max_pu_ps.to_bits(), Ordering::Release);
+        sync.max_pu_fs[widx].store(worker.max_pu_fs, Ordering::Release);
         sync.barrier.wait(&mut sense);
         let drained = sync.drained_cycle.load(Ordering::Acquire);
-        let max_pu_ps = (0..nworkers)
-            .map(|i| f64::from_bits(sync.max_pu_bits[i].load(Ordering::Acquire)))
-            .fold(0.0f64, f64::max);
-        let pu_tail_cycle = (max_pu_ps / noc_period_ps).ceil() as u64;
+        let max_pu_fs = (0..nworkers)
+            .map(|i| sync.max_pu_fs[i].load(Ordering::Acquire))
+            .max()
+            .unwrap_or(0);
+        let pu_tail_cycle = worker.clock.noc_cycle_for_fs(max_pu_fs);
         base = drained.max(pu_tail_cycle) + termination;
         sync.barrier.wait_leader(&mut sense, || {
             sync.stop.store(false, Ordering::Release);

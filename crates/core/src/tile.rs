@@ -3,6 +3,7 @@
 use crate::app::OutMsg;
 use crate::counters::{PuCounters, SimCounters};
 use crate::frames::FrameLog;
+use crate::horizon::EventHorizon;
 use crate::sched::Scheduler;
 use muchisim_config::{SchedulingPolicy, SystemConfig, TimePs};
 use muchisim_mem::TileMemory;
@@ -80,6 +81,37 @@ impl TileEngine {
     /// the TSU stalls new dispatches until the NoC drains the CQs).
     pub fn cq_over(&self, cap: u32) -> bool {
         self.cqs.iter().any(|q| q.len() > cap as usize)
+    }
+}
+
+impl EventHorizon for TileEngine {
+    /// PU-clock domain: the earlier of the next possible task dispatch
+    /// (the earliest PU clock, while messages or an init task are
+    /// queued) and the readiness instant of any channel-queue head
+    /// awaiting NoC injection. A tile with empty queues and empty CQs
+    /// has no horizon — it acts again only when a message arrives, and
+    /// arrivals are covered by the network-layer horizons.
+    ///
+    /// This is the *specification* of the tile horizon; for speed the
+    /// driver folds the same quantity incrementally into
+    /// `Worker::tile_horizon` while its phase sweeps already walk the
+    /// tiles (plus an inject-backpressure clamp the sweep observes
+    /// directly). Keep the two in sync when dispatch eligibility
+    /// changes.
+    fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let mut horizon: Option<u64> = None;
+        if self.has_work() {
+            horizon = Some(self.pu_clock[self.earliest_pu()].max(now));
+        }
+        if self.cq_msgs > 0 {
+            for q in &self.cqs {
+                if let Some(head) = q.front() {
+                    let c = head.at_pu_cycle.max(now);
+                    horizon = Some(horizon.map_or(c, |h| h.min(c)));
+                }
+            }
+        }
+        horizon
     }
 }
 
@@ -165,6 +197,35 @@ mod tests {
         );
         t.pu_clock = vec![10, 3, 7];
         assert_eq!(t.earliest_pu(), 1);
+    }
+
+    #[test]
+    fn tile_horizon_follows_pu_clock_and_cq_heads() {
+        use muchisim_noc::Payload;
+
+        let mut t = tile();
+        assert_eq!(t.next_event_cycle(0), None, "idle tile has no horizon");
+        // queued message with the PU busy until 40: horizon is the PU clock
+        t.iqs[0].push_back(Payload::empty());
+        t.iq_msgs = 1;
+        t.pu_clock[0] = 40;
+        assert_eq!(t.next_event_cycle(0), Some(40));
+        // an already-dispatchable message clamps to `now`
+        assert_eq!(t.next_event_cycle(50), Some(50));
+        // a CQ head maturing at 25 comes earlier than the PU clock
+        t.cqs[1].push_back(OutMsg {
+            dst: 3,
+            task: 1,
+            payload: Payload::empty(),
+            at_pu_cycle: 25,
+            reduce: None,
+        });
+        t.cq_msgs = 1;
+        assert_eq!(t.next_event_cycle(0), Some(25));
+        // the init task is dispatchable work too
+        let mut fresh = tile();
+        fresh.init_pending = true;
+        assert_eq!(fresh.next_event_cycle(7), Some(7));
     }
 
     #[test]

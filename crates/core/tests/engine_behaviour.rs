@@ -387,6 +387,159 @@ fn multi_plane_noc_partitions_traffic() {
     assert_eq!(result.counters.noc.injected, 2);
 }
 
+/// Endpoint-heavy app with long task latencies: tile 1 floods tile 0
+/// with independent 500-cycle tasks, so the NoC sits idle for long
+/// stretches between dispatches — the time-leaping driver's best case.
+#[derive(Clone)]
+struct LongTasks;
+
+impl Application for LongTasks {
+    type Tile = u32;
+    fn name(&self) -> &'static str {
+        "longtasks"
+    }
+    fn task_types(&self) -> u8 {
+        1
+    }
+    fn make_tile(&self, _t: u32, _g: &GridInfo) -> u32 {
+        0
+    }
+    fn init(&self, _s: &mut u32, ctx: &mut TaskCtx<'_>) {
+        if ctx.tile == 1 {
+            for i in 0..24 {
+                ctx.send(0, 0, &[i]);
+            }
+        }
+    }
+    fn handle(&self, s: &mut u32, _t: u8, _m: &[u32], ctx: &mut TaskCtx<'_>) {
+        *s += 1;
+        ctx.add_cycles(500);
+        let next = (ctx.tile + 7) % ctx.grid().total_tiles;
+        if s.is_multiple_of(4) {
+            ctx.send(0, next, &[*s]);
+        }
+    }
+}
+
+/// Runs `app` at the given thread count with leaping on or off and
+/// returns the full observable outcome.
+fn leap_run<A: Application + Clone>(
+    app: &A,
+    leap: bool,
+    threads: usize,
+) -> muchisim_core::SimResult {
+    let cfg = SystemConfig::builder()
+        .chiplet_tiles(8, 8)
+        .verbosity(Verbosity::V3)
+        .frame_interval_cycles(64)
+        .time_leap(leap)
+        .build()
+        .unwrap();
+    Simulation::new(cfg, app.clone())
+        .unwrap()
+        .run_parallel(threads)
+        .unwrap()
+}
+
+#[test]
+fn time_leap_is_bit_identical_to_lockstep() {
+    for threads in [1usize, 4] {
+        let off = leap_run(&LongTasks, false, threads);
+        let on = leap_run(&LongTasks, true, threads);
+        assert_eq!(on.runtime_cycles, off.runtime_cycles, "{threads} threads");
+        assert_eq!(on.counters, off.counters, "{threads} threads");
+        assert_eq!(on.frames, off.frames, "{threads} threads");
+    }
+}
+
+#[test]
+fn time_leap_skips_host_work_on_idle_stretches() {
+    // not a wall-clock assertion (too flaky for CI): leaping must leave
+    // runtime_cycles far above the number of frames it actually stepped
+    // through, proving jumps happened, while frames stay backfilled
+    #[derive(Clone)]
+    struct Sparse;
+    impl Application for Sparse {
+        type Tile = u32;
+        fn name(&self) -> &'static str {
+            "sparse"
+        }
+        fn task_types(&self) -> u8 {
+            1
+        }
+        fn make_tile(&self, _t: u32, _g: &GridInfo) -> u32 {
+            0
+        }
+        fn init(&self, _s: &mut u32, ctx: &mut TaskCtx<'_>) {
+            if ctx.tile == 0 {
+                ctx.add_cycles(50_000); // one huge task
+                ctx.send(0, 1, &[1]);
+            }
+        }
+        fn handle(&self, s: &mut u32, _t: u8, _m: &[u32], _ctx: &mut TaskCtx<'_>) {
+            *s += 1;
+        }
+    }
+    let on = leap_run(&Sparse, true, 1);
+    let off = leap_run(&Sparse, false, 1);
+    assert!(on.runtime_cycles > 50_000);
+    assert_eq!(on.runtime_cycles, off.runtime_cycles);
+    assert_eq!(on.frames, off.frames);
+    // the 50k-cycle gap crosses hundreds of 64-cycle frame boundaries,
+    // all of which must have been backfilled
+    assert!(on.frames.len() > 500, "frames: {}", on.frames.len());
+}
+
+#[test]
+fn kernel_end_frame_never_duplicated() {
+    // sweeping the frame interval guarantees some interval lands the
+    // kernel drain exactly on a frame boundary (the seed pushed an empty
+    // duplicate frame with a repeated start_cycle there). Within this
+    // sweep range every kernel spans several frame intervals, so frame
+    // starts must be strictly increasing; at intervals longer than a
+    // whole kernel the kernel-end flush intentionally emits one partial
+    // frame per kernel (same window, that kernel's deltas) instead.
+    for interval in 1..=24u64 {
+        for leap in [false, true] {
+            let cfg = SystemConfig::builder()
+                .chiplet_tiles(4, 4)
+                .verbosity(Verbosity::V1)
+                .frame_interval_cycles(interval)
+                .time_leap(leap)
+                .build()
+                .unwrap();
+            let result = Simulation::new(cfg, Relay { hops: 40 })
+                .unwrap()
+                .run()
+                .unwrap();
+            let starts: Vec<u64> = result.frames.frames.iter().map(|f| f.start_cycle).collect();
+            for w in starts.windows(2) {
+                assert!(
+                    w[0] < w[1],
+                    "duplicate/unordered frame starts {starts:?} at interval {interval} leap {leap}"
+                );
+            }
+        }
+    }
+    // multi-kernel: the boundary case must also hold across kernel barriers
+    for interval in 1..=8u64 {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(4, 4)
+            .verbosity(Verbosity::V1)
+            .frame_interval_cycles(interval)
+            .build()
+            .unwrap();
+        let result = Simulation::new(cfg, DoAll).unwrap().run().unwrap();
+        let starts: Vec<u64> = result.frames.frames.iter().map(|f| f.start_cycle).collect();
+        for w in starts.windows(2) {
+            assert!(
+                w[0] < w[1],
+                "kernel-boundary duplicate {starts:?} at {interval}"
+            );
+        }
+    }
+}
+
 #[test]
 fn multiple_pus_per_tile_increase_throughput() {
     // one tile receives many independent tasks; more PUs -> shorter runtime

@@ -30,6 +30,20 @@ impl ChannelState {
     pub fn reset(&mut self) {
         self.transactions = 0;
     }
+
+    /// The cycle at which this channel's transaction backlog drains (the
+    /// earliest cycle a new request would see no queue wait), or `None`
+    /// if the channel is already caught up at `now`.
+    ///
+    /// Channels never initiate events on their own — request latency is
+    /// computed analytically at issue time, and `transactions` is frozen
+    /// between dispatches — so folding this horizon is not required for
+    /// correctness. The time-leaping driver includes it for layering
+    /// completeness; it can only split a leap at the drain instant
+    /// (at most once per frozen backlog value), never change results.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        (self.transactions > now).then_some(self.transactions)
+    }
 }
 
 /// Maps tiles to HBM channels.
@@ -167,6 +181,18 @@ mod tests {
         }
         // much later, the backlog has drained
         assert_eq!(ch.request(1000, 50), 50);
+    }
+
+    #[test]
+    fn channel_horizon_is_backlog_drain() {
+        let mut ch = ChannelState::default();
+        assert_eq!(ch.next_event_cycle(0), None);
+        for _ in 0..10 {
+            ch.request(0, 50);
+        }
+        assert_eq!(ch.next_event_cycle(0), Some(10));
+        assert_eq!(ch.next_event_cycle(9), Some(10));
+        assert_eq!(ch.next_event_cycle(10), None);
     }
 
     #[test]

@@ -116,6 +116,25 @@ impl SharedNet {
     pub fn mailboxes_empty(&self) -> bool {
         self.mailboxes.iter().flatten().all(|m| m.lock().is_empty())
     }
+
+    /// The earliest cycle after `now` at which a packet currently parked
+    /// in a cross-shard mailbox can move, or `None` if all mailboxes are
+    /// empty.
+    ///
+    /// Only sound once every shard has finished its step phase for `now`
+    /// (mailboxes are written during stepping); the time-leaping driver
+    /// therefore calls this from the post-barrier leader action.
+    pub fn mailbox_next_event_cycle(&self, now: u64) -> Option<u64> {
+        let floor = now + 1;
+        let mut horizon: Option<u64> = None;
+        for mailbox in self.mailboxes.iter().flatten() {
+            for (_, _, pkt) in mailbox.lock().iter() {
+                let c = pkt.ready_at.max(floor);
+                horizon = Some(horizon.map_or(c, |h| h.min(c)));
+            }
+        }
+        horizon
+    }
 }
 
 impl fmt::Debug for SharedNet {

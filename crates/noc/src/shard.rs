@@ -101,6 +101,42 @@ impl Shard {
         self.pending_pushes.is_empty() && self.routers.iter().all(|r| !r.has_traffic())
     }
 
+    /// The earliest cycle after `now` at which this shard can move a
+    /// packet, or `None` if it holds no packets at all.
+    ///
+    /// Queue heads are the earliest-ready packet of their FIFO (link
+    /// serialization makes arrival times monotone within a queue), so
+    /// scanning heads plus this shard's own deferred pushes is exact:
+    /// strictly before the returned cycle, [`Shard::step`] is a no-op —
+    /// no movement, no counter, no busy accounting. A head that is
+    /// already ready but stalled (link busy, backpressure, eject refusal)
+    /// clamps the horizon to `now + 1` because it retries every cycle.
+    /// The time-leaping driver uses this to skip dead cycles while
+    /// packets ride long-latency (die-to-die, inter-node) links.
+    pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
+        let floor = now + 1;
+        let mut horizon: Option<u64> = None;
+        for (_, _, pkt) in &self.pending_pushes {
+            let c = pkt.ready_at.max(floor);
+            horizon = Some(horizon.map_or(c, |h| h.min(c)));
+        }
+        for r in &self.routers {
+            if horizon == Some(floor) {
+                return horizon; // cannot get any earlier
+            }
+            if !r.has_traffic() {
+                continue;
+            }
+            for q in &r.queues {
+                if let Some(head) = q.front() {
+                    let c = head.ready_at.max(floor);
+                    horizon = Some(horizon.map_or(c, |h| h.min(c)));
+                }
+            }
+        }
+        horizon
+    }
+
     /// Packets currently queued (including pending pushes).
     pub fn queued_packets(&self) -> u64 {
         self.pending_pushes.len() as u64

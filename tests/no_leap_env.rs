@@ -1,0 +1,27 @@
+//! The `MUCHISIM_NO_LEAP` kill switch forces the lockstep driver.
+//!
+//! Kept in its own integration-test binary because it mutates the
+//! process environment: cargo gives each test file its own process, so
+//! this cannot race other tests that construct simulations.
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::SystemConfig;
+use muchisim::data::rmat::RmatConfig;
+
+#[test]
+fn no_leap_env_var_forces_lockstep_with_identical_results() {
+    let graph = RmatConfig::scale(5).generate(3);
+    let cfg = || {
+        SystemConfig::builder()
+            .chiplet_tiles(2, 2)
+            .build()
+            .expect("valid config")
+    };
+    let leaping = run_benchmark(Benchmark::Bfs, cfg(), &graph, 1).expect("runs");
+    std::env::set_var("MUCHISIM_NO_LEAP", "1");
+    let lockstep = run_benchmark(Benchmark::Bfs, cfg(), &graph, 1).expect("runs");
+    std::env::remove_var("MUCHISIM_NO_LEAP");
+    assert_eq!(leaping.runtime_cycles, lockstep.runtime_cycles);
+    assert_eq!(leaping.counters, lockstep.counters);
+    assert_eq!(leaping.frames, lockstep.frames);
+}
