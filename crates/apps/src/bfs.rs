@@ -11,6 +11,7 @@
 use crate::common::{arrays, f2w, w2f, GraphData, SyncMode};
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// Infinity marker for unreached vertices.
 pub const INF: u32 = u32::MAX;
@@ -34,7 +35,7 @@ pub struct BfsTile {
 
 impl Bfs {
     /// Builds a BFS of `graph` scattered over `tiles`, from `root`.
-    pub fn new(graph: Csr, tiles: u32, root: u32, mode: SyncMode) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32, root: u32, mode: SyncMode) -> Self {
         let reference = host_bfs(&graph, root);
         let levels = reference
             .iter()
@@ -186,7 +187,7 @@ pub struct SsspTile {
 
 impl Sssp {
     /// Builds an SSSP of `graph` over `tiles`, from `root`.
-    pub fn new(graph: Csr, tiles: u32, root: u32, mode: SyncMode) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32, root: u32, mode: SyncMode) -> Self {
         let (reference, rounds) = host_sssp(&graph, root);
         Sssp {
             graph: GraphData::new(graph, tiles),
@@ -393,7 +394,7 @@ mod tests {
     #[test]
     fn levels_match_reference_depth() {
         let g = grid_2d(8, 8);
-        let bfs = Bfs::new(g, 16, 0, SyncMode::Barrier);
+        let bfs = Bfs::new(g.into(), 16, 0, SyncMode::Barrier);
         // corner-to-corner grid depth is 14 -> 15 levels
         assert_eq!(bfs.kernels(), 15);
     }
@@ -401,7 +402,7 @@ mod tests {
     #[test]
     fn reference_reaches_most_of_rmat() {
         let g = RmatConfig::scale(8).generate(3);
-        let bfs = Bfs::new(g, 16, 0, SyncMode::Async);
+        let bfs = Bfs::new(g.into(), 16, 0, SyncMode::Async);
         let reached = bfs.reference().iter().filter(|&&d| d != INF).count();
         assert!(
             reached > 64,

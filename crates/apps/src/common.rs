@@ -44,12 +44,13 @@ pub struct GraphData {
 
 impl GraphData {
     /// Scatters `csr` over `tiles` tiles.
-    pub fn new(csr: Csr, tiles: u32) -> Self {
+    ///
+    /// The graph arrives behind an [`Arc`] so that batch runs (many sweep
+    /// points over the same dataset) share one host copy instead of
+    /// deep-cloning the CSR per simulation.
+    pub fn new(csr: Arc<Csr>, tiles: u32) -> Self {
         let part = Partition::new(csr.num_vertices() as u64, tiles);
-        GraphData {
-            csr: Arc::new(csr),
-            part,
-        }
+        GraphData { csr, part }
     }
 
     /// The tile owning vertex `v`.
@@ -119,7 +120,7 @@ mod tests {
 
     #[test]
     fn graph_data_partitions_vertices() {
-        let g = GraphData::new(RmatConfig::scale(6).generate(1), 16);
+        let g = GraphData::new(Arc::new(RmatConfig::scale(6).generate(1)), 16);
         assert_eq!(g.part.parts(), 16);
         let mut total = 0;
         for t in 0..16 {

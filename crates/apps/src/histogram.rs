@@ -10,6 +10,7 @@
 use crate::common::{arrays, GraphData};
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::{Csr, Partition};
+use std::sync::Arc;
 
 /// Histogram of the dataset's column indices into `bins` intervals.
 #[derive(Debug)]
@@ -30,7 +31,7 @@ pub struct HistogramTile {
 impl Histogram {
     /// Builds a histogram of `graph`'s column indices into `bins` bins on
     /// `tiles` tiles.
-    pub fn new(graph: Csr, tiles: u32, bins: u32) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32, bins: u32) -> Self {
         assert!(bins >= 1, "histogram needs at least one bin");
         let n = graph.num_vertices();
         let mut reference = vec![0u32; bins as usize];
@@ -126,7 +127,7 @@ mod tests {
     fn reference_counts_all_elements() {
         let g = RmatConfig::scale(6).generate(2);
         let edges = g.num_edges();
-        let h = Histogram::new(g, 4, 16);
+        let h = Histogram::new(g.into(), 4, 16);
         let total: u64 = h.reference.iter().map(|&c| c as u64).sum();
         assert_eq!(total, edges);
     }
@@ -134,7 +135,7 @@ mod tests {
     #[test]
     fn bin_mapping_covers_range() {
         let g = RmatConfig::scale(6).generate(2);
-        let h = Histogram::new(g, 4, 16);
+        let h = Histogram::new(g.into(), 4, 16);
         assert_eq!(h.bin_of(0), 0);
         assert_eq!(h.bin_of(63), 15);
     }

@@ -20,7 +20,7 @@
 //! use muchisim_core::Simulation;
 //! use muchisim_data::rmat::RmatConfig;
 //!
-//! let graph = RmatConfig::scale(6).generate(1);
+//! let graph = std::sync::Arc::new(RmatConfig::scale(6).generate(1));
 //! let cfg = SystemConfig::builder().chiplet_tiles(4, 4).build().unwrap();
 //! let app = Bfs::new(graph, 16, 0, SyncMode::Async);
 //! let result = Simulation::new(cfg, app).unwrap().run().unwrap();

@@ -8,6 +8,7 @@
 use crate::common::{arrays, f2w, w2f, GraphData};
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// Damping factor (the standard 0.85).
 const DAMPING: f32 = 0.85;
@@ -30,7 +31,7 @@ pub struct PageRankTile {
 
 impl PageRank {
     /// Builds `iterations` PageRank iterations over `graph` on `tiles`.
-    pub fn new(graph: Csr, tiles: u32, iterations: u32) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32, iterations: u32) -> Self {
         let reference = host_pagerank(&graph, iterations);
         PageRank {
             graph: GraphData::new(graph, tiles),

@@ -9,6 +9,7 @@
 use crate::common::{arrays, f2w, w2f, GraphData};
 use muchisim_core::{Application, GridInfo, TaskCtx};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// The deterministic dense input `X[j][c]`.
 pub fn input_x(j: u32, c: u32) -> f32 {
@@ -31,7 +32,7 @@ pub struct SpmmTile {
 
 impl Spmm {
     /// Builds `Y = A·X` with `k` dense columns.
-    pub fn new(graph: Csr, tiles: u32, k: u32) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32, k: u32) -> Self {
         assert!(k >= 1, "SPMM needs at least one dense column");
         let reference = host_spmm(&graph, k);
         Spmm {
@@ -156,6 +157,6 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_k_rejected() {
         let g = Csr::from_edges(2, &[(0, 1, 1.0)]);
-        let _ = Spmm::new(g, 2, 0);
+        let _ = Spmm::new(g.into(), 2, 0);
     }
 }

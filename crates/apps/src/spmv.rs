@@ -11,6 +11,7 @@
 use crate::common::{arrays, f2w, w2f, GraphData};
 use muchisim_core::{Application, GridInfo, TaskCtx};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// The deterministic dense input vector: `x[j] = 1 / (1 + (j mod 17))`.
 pub fn input_x(j: u32) -> f32 {
@@ -32,7 +33,7 @@ pub struct SpmvTile {
 
 impl Spmv {
     /// Builds `y = A·x` over `graph` as the matrix, on `tiles`.
-    pub fn new(graph: Csr, tiles: u32) -> Self {
+    pub fn new(graph: Arc<Csr>, tiles: u32) -> Self {
         let reference = host_spmv(&graph);
         Spmv {
             graph: GraphData::new(graph, tiles),

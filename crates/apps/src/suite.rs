@@ -7,6 +7,7 @@ use muchisim_config::SystemConfig;
 use muchisim_core::{SimError, SimResult, Simulation};
 use muchisim_data::Csr;
 use std::fmt;
+use std::sync::Arc;
 
 /// Picks a benchmark root vertex: the highest-degree vertex, which is
 /// guaranteed non-isolated (Graph500 similarly samples roots with edges).
@@ -61,6 +62,14 @@ impl Benchmark {
         Benchmark::Histogram,
     ];
 
+    /// Parses a benchmark from its label, case-insensitively (`"bfs"`,
+    /// `"BFS"`, `"histo"`, ...). The inverse of [`Benchmark::label`].
+    pub fn from_label(name: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.label().eq_ignore_ascii_case(name))
+    }
+
     /// Short uppercase label as used in the paper's figures.
     pub fn label(self) -> &'static str {
         match self {
@@ -85,6 +94,10 @@ impl fmt::Display for Benchmark {
 /// Runs `bench` on `cfg` over `graph` with `threads` host threads,
 /// verifying the functional result.
 ///
+/// The graph is taken behind an [`Arc`] and shared read-only with the
+/// simulation: batch sweeps over the same dataset pay for one host copy,
+/// not one per sweep point.
+///
 /// For [`Benchmark::Fft`] the problem size follows the grid (`n = width`,
 /// which must equal the height) and `graph` is ignored, matching the
 /// paper's weak-scaling treatment of FFT.
@@ -96,35 +109,44 @@ impl fmt::Display for Benchmark {
 pub fn run_benchmark(
     bench: Benchmark,
     cfg: SystemConfig,
-    graph: &Csr,
+    graph: &Arc<Csr>,
     threads: usize,
 ) -> Result<SimResult, SimError> {
     let tiles = cfg.total_tiles() as u32;
     match bench {
         Benchmark::Bfs => {
             let root = high_degree_root(graph);
-            Simulation::new(cfg, Bfs::new(graph.clone(), tiles, root, SyncMode::Async))?
-                .run_parallel(threads)
+            Simulation::new(
+                cfg,
+                Bfs::new(Arc::clone(graph), tiles, root, SyncMode::Async),
+            )?
+            .run_parallel(threads)
         }
         Benchmark::Sssp => {
             let root = high_degree_root(graph);
-            Simulation::new(cfg, Sssp::new(graph.clone(), tiles, root, SyncMode::Async))?
-                .run_parallel(threads)
+            Simulation::new(
+                cfg,
+                Sssp::new(Arc::clone(graph), tiles, root, SyncMode::Async),
+            )?
+            .run_parallel(threads)
         }
         Benchmark::PageRank => {
-            Simulation::new(cfg, PageRank::new(graph.clone(), tiles, 5))?.run_parallel(threads)
+            Simulation::new(cfg, PageRank::new(Arc::clone(graph), tiles, 5))?.run_parallel(threads)
         }
-        Benchmark::Wcc => Simulation::new(cfg, Wcc::new(graph.clone(), tiles, SyncMode::Async))?
-            .run_parallel(threads),
+        Benchmark::Wcc => {
+            Simulation::new(cfg, Wcc::new(Arc::clone(graph), tiles, SyncMode::Async))?
+                .run_parallel(threads)
+        }
         Benchmark::Spmv => {
-            Simulation::new(cfg, Spmv::new(graph.clone(), tiles))?.run_parallel(threads)
+            Simulation::new(cfg, Spmv::new(Arc::clone(graph), tiles))?.run_parallel(threads)
         }
         Benchmark::Spmm => {
-            Simulation::new(cfg, Spmm::new(graph.clone(), tiles, 8))?.run_parallel(threads)
+            Simulation::new(cfg, Spmm::new(Arc::clone(graph), tiles, 8))?.run_parallel(threads)
         }
         Benchmark::Histogram => {
             let bins = graph.num_vertices();
-            Simulation::new(cfg, Histogram::new(graph.clone(), tiles, bins))?.run_parallel(threads)
+            Simulation::new(cfg, Histogram::new(Arc::clone(graph), tiles, bins))?
+                .run_parallel(threads)
         }
         Benchmark::Fft => {
             let n = cfg.width() as usize;
@@ -137,6 +159,15 @@ pub fn run_benchmark(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn from_label_round_trips_case_insensitively() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::from_label(b.label()), Some(b));
+            assert_eq!(Benchmark::from_label(&b.label().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_label("nope"), None);
+    }
 
     #[test]
     fn labels_match_paper() {

@@ -8,6 +8,7 @@
 use crate::common::{arrays, GraphData, SyncMode};
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// Weakly Connected Components.
 #[derive(Debug)]
@@ -28,8 +29,8 @@ pub struct WccTile {
 
 impl Wcc {
     /// Builds WCC over the symmetrized `graph` scattered on `tiles`.
-    pub fn new(graph: Csr, tiles: u32, mode: SyncMode) -> Self {
-        let sym = graph.symmetrize();
+    pub fn new(graph: Arc<Csr>, tiles: u32, mode: SyncMode) -> Self {
+        let sym = Arc::new(graph.symmetrize());
         let (reference, rounds) = host_wcc(&sym);
         Wcc {
             graph: GraphData::new(sym, tiles),
@@ -213,7 +214,7 @@ mod tests {
     fn component_count_on_directed_input() {
         // directed chain counts as one weak component after symmetrize
         let g = Csr::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
-        let wcc = Wcc::new(g, 4, SyncMode::Async);
+        let wcc = Wcc::new(g.into(), 4, SyncMode::Async);
         assert_eq!(wcc.component_count(), 1);
     }
 }

@@ -8,13 +8,14 @@ use muchisim_core::Simulation;
 use muchisim_data::rmat::RmatConfig;
 use muchisim_data::synthetic::{grid_2d, uniform_random};
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 fn cfg_8x8() -> SystemConfig {
     SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap()
 }
 
-fn rmat8() -> Csr {
-    RmatConfig::scale(8).generate(11)
+fn rmat8() -> Arc<Csr> {
+    Arc::new(RmatConfig::scale(8).generate(11))
 }
 
 #[test]
@@ -44,7 +45,7 @@ fn fft_passes_on_square_grid() {
 
 #[test]
 fn bfs_barrier_matches_async() {
-    let graph = grid_2d(16, 16);
+    let graph = Arc::new(grid_2d(16, 16));
     let a = Simulation::new(cfg_8x8(), Bfs::new(graph.clone(), 64, 0, SyncMode::Async))
         .unwrap()
         .run()
@@ -61,7 +62,7 @@ fn bfs_barrier_matches_async() {
 
 #[test]
 fn sssp_barrier_variant_converges() {
-    let graph = uniform_random(128, 1024, 5);
+    let graph = Arc::new(uniform_random(128, 1024, 5));
     let app = Sssp::new(graph, 64, 0, SyncMode::Barrier);
     let result = Simulation::new(cfg_8x8(), app).unwrap().run().unwrap();
     assert!(result.check_error.is_none(), "{:?}", result.check_error);
@@ -69,7 +70,7 @@ fn sssp_barrier_variant_converges() {
 
 #[test]
 fn wcc_barrier_variant_converges() {
-    let graph = uniform_random(96, 300, 9);
+    let graph = Arc::new(uniform_random(96, 300, 9));
     let app = Wcc::new(graph, 64, SyncMode::Barrier);
     let result = Simulation::new(cfg_8x8(), app).unwrap().run().unwrap();
     assert!(result.check_error.is_none(), "{:?}", result.check_error);

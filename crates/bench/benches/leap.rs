@@ -9,6 +9,7 @@
 use muchisim_apps::{run_benchmark, Benchmark};
 use muchisim_config::{DramConfig, SystemConfig, SystemConfigBuilder, Verbosity};
 use muchisim_core::SimResult;
+use std::sync::Arc;
 
 fn base(side: u32) -> SystemConfigBuilder {
     let mut b = SystemConfig::builder();
@@ -21,7 +22,7 @@ fn base(side: u32) -> SystemConfigBuilder {
 fn run(
     bench: Benchmark,
     mut builder: SystemConfigBuilder,
-    graph: &muchisim_data::Csr,
+    graph: &Arc<muchisim_data::Csr>,
     threads: usize,
     leap: bool,
 ) -> SimResult {
@@ -81,10 +82,15 @@ fn main() {
     //  - SPMV over a saturated DRAM channel stays ~1x by design (the
     //    channel serializes to one event per cycle) and is recorded as
     //    the honest dense-workload baseline.
-    let path = muchisim_data::synthetic::grid_2d(side * side * 16, 1);
+    let path = Arc::new(muchisim_data::synthetic::grid_2d(side * side * 16, 1));
     let mut dram = base(side);
     dram.sram_kib_per_tile(2).dram(DramConfig::default());
-    let workloads: [(&str, Benchmark, SystemConfigBuilder, &muchisim_data::Csr); 4] = [
+    let workloads: [(
+        &str,
+        Benchmark,
+        SystemConfigBuilder,
+        &Arc<muchisim_data::Csr>,
+    ); 4] = [
         (
             "bfs-path-sparse-frontier",
             Benchmark::Bfs,

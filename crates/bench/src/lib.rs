@@ -9,6 +9,7 @@
 use muchisim_config::SystemConfig;
 use muchisim_data::rmat::RmatConfig;
 use muchisim_data::Csr;
+use std::sync::Arc;
 
 /// Default RMAT scale for the figure benches (paper: RMAT-22/25/26;
 /// scaled down per DESIGN.md).
@@ -17,9 +18,10 @@ pub const BENCH_RMAT_SCALE: u32 = 11;
 /// The shared dataset seed.
 pub const BENCH_SEED: u64 = 0x6D75_6368_6953_696D;
 
-/// Generates the shared bench dataset at `scale`.
-pub fn bench_graph(scale: u32) -> Csr {
-    RmatConfig::scale(scale).generate(BENCH_SEED)
+/// Generates the shared bench dataset at `scale`, behind an [`Arc`] so
+/// every experiment in a bench shares one host copy.
+pub fn bench_graph(scale: u32) -> Arc<Csr> {
+    Arc::new(RmatConfig::scale(scale).generate(BENCH_SEED))
 }
 
 /// A square monolithic DUT of `side × side` tiles.

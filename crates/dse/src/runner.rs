@@ -1,0 +1,248 @@
+//! The parallel batch runner.
+//!
+//! Takes the expanded [`RunPoint`]s of a spec and executes the ones not
+//! yet in the store, scheduling simulations concurrently over a
+//! host-thread budget. Each distinct dataset is generated once and shared
+//! across all its sweep points via `Arc<Csr>` — a sweep of N configs over
+//! one graph holds one host copy, not N.
+//!
+//! Results stream into the [`JsonlStore`] as they complete, so an
+//! interrupted sweep resumes where it stopped. Simulation results are
+//! deterministic (see the leap/parallel determinism tests), so running
+//! points concurrently and out of order changes nothing about the
+//! reported numbers.
+
+use crate::error::DseError;
+use crate::spec::{DatasetSpec, ExperimentSpec, RunPoint};
+use crate::store::{JsonlStore, RunRecord};
+use muchisim_apps::run_benchmark;
+use muchisim_data::Csr;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// What a batch did: how many points ran, were skipped as already
+/// complete, or failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Points simulated in this invocation.
+    pub executed: usize,
+    /// Points skipped because their run ID was already in the store.
+    pub skipped: usize,
+    /// Points whose result check failed — counting both fresh executions
+    /// and failures already recorded in the store for skipped points, so
+    /// a resumed sweep over bad data stays loud instead of going green.
+    pub check_failures: usize,
+}
+
+/// A batch executor with a host-thread budget.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    /// Total host threads the batch may use at once.
+    pub host_threads: usize,
+}
+
+impl BatchRunner {
+    /// A runner budgeted to `host_threads` total threads.
+    pub fn new(host_threads: usize) -> Self {
+        BatchRunner {
+            host_threads: host_threads.max(1),
+        }
+    }
+
+    /// Expands and runs `spec`, streaming results into `store`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expansion errors and the first engine or store error
+    /// (completed points remain in the store either way).
+    pub fn run_spec(
+        &self,
+        spec: &ExperimentSpec,
+        store: &mut JsonlStore,
+    ) -> Result<BatchOutcome, DseError> {
+        let points = spec.expand()?;
+        self.run_points(&points, spec.threads_per_run, store)
+    }
+
+    /// Runs the `points` not yet in `store`, `threads_per_run` host
+    /// threads each, at most `host_threads / threads_per_run` (min 1)
+    /// simulations in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first engine or store error; completed points remain
+    /// recorded.
+    pub fn run_points(
+        &self,
+        points: &[RunPoint],
+        threads_per_run: usize,
+        store: &mut JsonlStore,
+    ) -> Result<BatchOutcome, DseError> {
+        let threads_per_run = threads_per_run.max(1);
+        let done = store.completed_ids();
+        let pending: Vec<&RunPoint> = points
+            .iter()
+            .filter(|p| !done.contains(&p.run_id))
+            .collect();
+        // failures recorded in a previous invocation, now being skipped
+        let skipped_ids: std::collections::HashSet<&str> = points
+            .iter()
+            .filter(|p| done.contains(&p.run_id))
+            .map(|p| p.run_id.as_str())
+            .collect();
+        let stored_failures = store
+            .records()
+            .iter()
+            .filter(|r| skipped_ids.contains(r.run_id.as_str()))
+            .filter(|r| r.result.check_error.is_some())
+            .count();
+        let mut outcome = BatchOutcome {
+            executed: 0,
+            skipped: points.len() - pending.len(),
+            check_failures: stored_failures,
+        };
+
+        // Generate each distinct dataset once, shared by every point.
+        let mut datasets: HashMap<DatasetSpec, Arc<Csr>> = HashMap::new();
+        for point in &pending {
+            datasets
+                .entry(point.dataset.clone())
+                .or_insert_with(|| Arc::new(point.dataset.generate()));
+        }
+
+        let slots = (self.host_threads / threads_per_run).clamp(1, pending.len().max(1));
+        let queue = Mutex::new(pending.into_iter());
+        let sink: Mutex<(&mut JsonlStore, Vec<DseError>, &mut BatchOutcome)> =
+            Mutex::new((store, Vec::new(), &mut outcome));
+
+        std::thread::scope(|scope| {
+            for _ in 0..slots {
+                scope.spawn(|| loop {
+                    let Some(point) = queue.lock().expect("queue lock").next() else {
+                        return;
+                    };
+                    let graph = Arc::clone(&datasets[&point.dataset]);
+                    let run =
+                        run_benchmark(point.app, point.config.clone(), &graph, threads_per_run);
+                    let mut guard = sink.lock().expect("sink lock");
+                    let (store, errors, outcome) = &mut *guard;
+                    match run {
+                        Ok(result) => {
+                            outcome.executed += 1;
+                            if result.check_error.is_some() {
+                                outcome.check_failures += 1;
+                            }
+                            let record = RunRecord {
+                                run_id: point.run_id.clone(),
+                                order: point.order,
+                                config_label: point.config_label.clone(),
+                                app: point.app.label().to_string(),
+                                dataset: point.dataset.label(),
+                                config: point.config.clone(),
+                                result,
+                            };
+                            if let Err(e) = store.append(record) {
+                                errors.push(e);
+                                return; // a dead store poisons the batch
+                            }
+                        }
+                        Err(e) => errors.push(e.into()),
+                    }
+                });
+            }
+        });
+
+        let (_, mut errors, _) = sink.into_inner().expect("sink lock");
+        match errors.is_empty() {
+            true => Ok(outcome),
+            false => Err(errors.swap_remove(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec::from_json(
+            r#"{
+                "name": "runner_test",
+                "base": ["hierarchy.chiplet.x=4", "hierarchy.chiplet.y=4"],
+                "axes": [{"name": "sram", "points": [
+                    {"label": "64KiB", "set": ["sram_kib_per_tile=64"]},
+                    {"label": "128KiB", "set": ["sram_kib_per_tile=128"]}
+                ]}],
+                "apps": ["bfs", "histo"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_runs_all_points_then_resumes_with_skips() {
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-{}", std::process::id()));
+        let path = dir.join("runner_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = tiny_spec();
+        let mut store = JsonlStore::open(&path).unwrap();
+        let outcome = BatchRunner::new(4).run_spec(&spec, &mut store).unwrap();
+        assert_eq!(outcome.executed, 4);
+        assert_eq!(outcome.skipped, 0);
+        assert_eq!(outcome.check_failures, 0);
+        assert_eq!(store.records().len(), 4);
+
+        // a second invocation over the same store runs nothing
+        let mut reopened = JsonlStore::open(&path).unwrap();
+        assert_eq!(reopened.records().len(), 4);
+        let outcome2 = BatchRunner::new(4).run_spec(&spec, &mut reopened).unwrap();
+        assert_eq!(outcome2.executed, 0);
+        assert_eq!(outcome2.skipped, 4);
+
+        // concurrent execution reported the same numbers as serial
+        let serial_path = dir.join("runner_test_serial.jsonl");
+        let _ = std::fs::remove_file(&serial_path);
+        let mut serial = JsonlStore::open(&serial_path).unwrap();
+        BatchRunner::new(1).run_spec(&spec, &mut serial).unwrap();
+        for (a, b) in serial
+            .sorted_records()
+            .iter()
+            .zip(reopened.sorted_records())
+        {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.result.runtime_cycles, b.result.runtime_cycles);
+            assert_eq!(a.result.counters, b.result.counters);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_check_failures_stay_loud_on_resume() {
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("failed.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = tiny_spec();
+        let points = spec.expand().unwrap();
+
+        // a previous invocation recorded a run whose check failed
+        let mut store = JsonlStore::open(&path).unwrap();
+        let mut failed = crate::store::tests::record(&points[0].run_id, points[0].order, None);
+        failed.result.check_error = Some("mismatch at vertex 3".to_string());
+        store.append(failed).unwrap();
+
+        // resuming executes only the other points, but the stored
+        // failure still counts — the sweep must not go green
+        let outcome = BatchRunner::new(4)
+            .run_points(&points, spec.threads_per_run, &mut store)
+            .unwrap();
+        assert_eq!(outcome.executed, points.len() - 1);
+        assert_eq!(outcome.skipped, 1);
+        assert_eq!(outcome.check_failures, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

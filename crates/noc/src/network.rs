@@ -13,8 +13,16 @@ use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
 /// Splits `width` columns into at most `num_shards` contiguous ranges
 /// whose boundaries are multiples of `align`, returning the exclusive end
 /// column of each range.
+///
+/// Degenerate inputs degrade instead of panicking: asking for more shards
+/// than columns (or than alignment units) yields fewer, non-empty shards;
+/// an `align` of 0 or beyond `width` collapses to a single shard; a zero
+/// `width` yields no shards at all.
 pub fn split_columns(width: u32, num_shards: usize, align: u32) -> Vec<u32> {
-    let align = align.max(1).min(width);
+    if width == 0 {
+        return Vec::new();
+    }
+    let align = align.clamp(1, width);
     let units = width / align; // alignment units (last unit absorbs remainder)
     let n = (num_shards as u32).clamp(1, units);
     let base = units / n;
@@ -309,6 +317,45 @@ mod tests {
             assert!(cycle < limit, "network did not drain in {limit} cycles");
         }
         cycle
+    }
+
+    #[test]
+    fn split_columns_even_and_remainder() {
+        assert_eq!(split_columns(8, 2, 1), vec![4, 8]);
+        assert_eq!(split_columns(7, 2, 1), vec![4, 7]);
+        assert_eq!(split_columns(8, 3, 1), vec![3, 6, 8]);
+    }
+
+    #[test]
+    fn split_columns_more_shards_than_columns_has_no_empty_shard() {
+        for width in 1..=6u32 {
+            for shards in [7usize, 16, 100] {
+                let bounds = split_columns(width, shards, 1);
+                assert!(bounds.len() <= width as usize, "{width}x{shards}");
+                assert_eq!(*bounds.last().unwrap(), width);
+                let mut start = 0;
+                for &end in &bounds {
+                    assert!(end > start, "empty shard in {bounds:?} ({width}x{shards})");
+                    start = end;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_columns_align_beyond_width_collapses_to_one_shard() {
+        assert_eq!(split_columns(8, 4, 64), vec![8]);
+        assert_eq!(split_columns(8, 4, 8), vec![8]);
+        // alignment respected when it fits
+        assert_eq!(split_columns(8, 4, 3), vec![3, 8]);
+        assert_eq!(split_columns(8, 4, 0), split_columns(8, 4, 1));
+    }
+
+    #[test]
+    fn split_columns_zero_width_and_zero_shards_do_not_panic() {
+        assert_eq!(split_columns(0, 4, 1), Vec::<u32>::new());
+        assert_eq!(split_columns(0, 0, 0), Vec::<u32>::new());
+        assert_eq!(split_columns(5, 0, 1), vec![5]);
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .verbosity(Verbosity::V2) // per-tile frames for heat maps
         .frame_interval_cycles(FRAME_CYCLES)
         .build()?;
-    let graph = RmatConfig::scale(12).generate(3);
+    let graph = std::sync::Arc::new(RmatConfig::scale(12).generate(3));
     let app = Bfs::new(graph, cfg.total_tiles() as u32, 0, SyncMode::Barrier);
     let result = Simulation::new(cfg, app)?.run_parallel(8)?;
     assert!(result.check_error.is_none(), "{:?}", result.check_error);

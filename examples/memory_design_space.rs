@@ -1,59 +1,46 @@
 //! Design-space exploration: the paper's §IV-C memory-integration case
-//! study in miniature. Sweeps SRAM size and tiles-per-HBM-channel and
-//! compares performance, performance-per-watt and performance-per-dollar
-//! across applications, including re-pricing the *same* simulations under
-//! a different HBM cost scenario without re-simulating.
+//! study in miniature, driven through the `muchisim-dse` subsystem. The
+//! whole experiment — SRAM size × tiles-per-HBM-channel, three apps, one
+//! dataset — lives in `specs/memory_design_space.json`; this file only
+//! runs the spec and prints the study's three views: the comparison
+//! table, perf/$ normalized to the baseline, and a re-pricing of the
+//! *same* simulations under a different HBM cost scenario without
+//! re-simulating (paper §III-E).
 //!
 //! ```sh
 //! cargo run --release --example memory_design_space
+//! # or, equivalently, through the CLI:
+//! muchisim sweep --spec specs/memory_design_space.json
 //! ```
 
-use muchisim::apps::{run_benchmark, Benchmark};
-use muchisim::config::{DramConfig, SystemConfig};
-use muchisim::data::rmat::RmatConfig;
-use muchisim::energy::Report;
-use muchisim::viz::{ReportRow, ReportTable};
+use muchisim::dse::{
+    parse_assignment, repriced_report_for, table_from_store, BatchRunner, ExperimentSpec,
+    JsonlStore,
+};
 
-fn config(chiplet_side: u32, sram_kib: u32) -> SystemConfig {
-    let per_side = 16 / chiplet_side;
-    SystemConfig::builder()
-        .chiplet_tiles(chiplet_side, chiplet_side)
-        .package_chiplets(per_side, per_side)
-        .sram_kib_per_tile(sram_kib)
-        .dram(DramConfig::default())
-        .build()
-        .expect("valid configuration")
-}
+const SPEC: &str = include_str!("../specs/memory_design_space.json");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = RmatConfig::scale(11).generate(7);
-    let apps = [Benchmark::Bfs, Benchmark::Spmv, Benchmark::Spmm];
-    let sweep = [(16u32, 1u32), (16, 2), (16, 4), (8, 4)];
+    let spec = ExperimentSpec::from_json(SPEC)?;
 
-    let mut table = ReportTable::new();
-    let mut saved = Vec::new();
-    for (chiplet, sram) in sweep {
-        let cfg = config(chiplet, sram);
-        let label = format!("{}T/Ch {sram}KiB", chiplet * chiplet / 8);
-        for app in apps {
-            let result = run_benchmark(app, cfg.clone(), &graph, 8)?;
-            assert!(
-                result.check_error.is_none(),
-                "{app}: {:?}",
-                result.check_error
-            );
-            let report = Report::from_counters(&cfg, &result.counters);
-            table.push(ReportRow::new(
-                &label,
-                app.label(),
-                "RMAT-11",
-                &result,
-                &report,
-            ));
-            saved.push((cfg.clone(), label.clone(), app, result));
-        }
+    // A fresh store each run: the example always re-simulates. Point the
+    // CLI at a persistent store to get resumable sweeps instead.
+    let store_path = std::path::Path::new("target/dse/memory_design_space_example.jsonl");
+    let _ = std::fs::remove_file(store_path);
+    let mut store = JsonlStore::open(store_path)?;
+
+    let budget = std::thread::available_parallelism().map_or(8, |n| n.get());
+    BatchRunner::new(budget).run_spec(&spec, &mut store)?;
+    for record in store.sorted_records() {
+        assert!(
+            record.result.check_error.is_none(),
+            "{}: {:?}",
+            record.run_id,
+            record.result.check_error
+        );
     }
 
+    let table = table_from_store(&store, &[])?;
     println!("{}", table.to_text());
     println!("perf/$ improvement over the 32T/Ch 1KiB baseline:");
     for (cfg_label, app, _, factor) in
@@ -66,12 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // $3/GB (paper §III-E: "evaluating the performance-per-dollar of a
     // given simulation in the light of different DRAM cost scenarios").
     println!("\nre-pricing with HBM at $3/GB (no re-simulation):");
-    for (mut cfg, label, app, result) in saved {
-        cfg.params.cost.hbm_usd_per_gb = 3.0;
-        let report = Report::from_counters(&cfg, &result.counters);
+    let cheaper_hbm = [parse_assignment("params.cost.hbm_usd_per_gb=3.0")?];
+    for record in store.sorted_records() {
+        let report = repriced_report_for(record, &cheaper_hbm)?;
         println!(
-            "  {label:<14} {:<6} ${:>7.0} -> {:.2} kTEPS/$",
-            app.label(),
+            "  {:<14} {:<6} ${:>7.0} -> {:.2} kTEPS/$",
+            record.config_label,
+            record.app,
             report.cost.total_usd,
             report.app_throughput / report.cost.total_usd / 1e3
         );

@@ -21,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // 2. Generate a dataset: RMAT-12 (4,096 vertices, 65,536 edges).
-    let graph = RmatConfig::scale(12).generate(42);
+    let graph = std::sync::Arc::new(RmatConfig::scale(12).generate(42));
     println!(
         "dataset: RMAT-12, {} vertices, {} edges ({} KiB footprint)",
         graph.num_vertices(),

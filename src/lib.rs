@@ -24,6 +24,7 @@
 //! | [`energy`] | `muchisim-energy` | energy / area / cost / yield models, post-processing |
 //! | [`apps`] | `muchisim-apps` | the 8-application benchmark suite |
 //! | [`viz`] | `muchisim-viz` | report tables, time series, heat-map frames |
+//! | [`dse`] | `muchisim-dse` | declarative sweeps, parallel batch runner, resumable stores |
 //!
 //! # Quickstart
 //!
@@ -36,7 +37,7 @@
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cfg = SystemConfig::builder().chiplet_tiles(8, 8).build()?;
-//! let graph = RmatConfig::scale(8).generate(42);
+//! let graph = std::sync::Arc::new(RmatConfig::scale(8).generate(42));
 //! let app = Bfs::new(graph, cfg.total_tiles() as u32, 0, SyncMode::Async);
 //! let result = Simulation::new(cfg.clone(), app)?.run()?;
 //! assert!(result.check_error.is_none());
@@ -52,6 +53,7 @@ pub use muchisim_apps as apps;
 pub use muchisim_config as config;
 pub use muchisim_core as core;
 pub use muchisim_data as data;
+pub use muchisim_dse as dse;
 pub use muchisim_energy as energy;
 pub use muchisim_mem as mem;
 pub use muchisim_noc as noc;

@@ -1,0 +1,338 @@
+//! The `muchisim` command line.
+//!
+//! Three subcommands cover the paper's workflow end to end:
+//!
+//! * `muchisim run <app> [scale [side [threads]]]` — one simulation,
+//!   report printed, counters file written for later post-processing.
+//! * `muchisim sweep --spec FILE` — a declarative design-space sweep
+//!   (see [`muchisim::dse`]): points run concurrently, results stream
+//!   into a resumable JSONL store, completed run IDs are skipped.
+//! * `muchisim report --store FILE` — aggregate a store into the
+//!   comparison table, optionally re-priced with `--set` overrides
+//!   (energy/cost post-processing without re-simulation).
+//!
+//! Argument parsing is strict: unparseable numbers and unknown flags are
+//! errors (exit code 2), never silently replaced with defaults.
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::SystemConfig;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::dse::{
+    apply_to_config, parse_assignment, table_from_store, BatchRunner, ExperimentSpec, JsonlStore,
+    Override,
+};
+use muchisim::energy::Report;
+use std::fmt::Display;
+use std::str::FromStr;
+use std::sync::Arc;
+
+const USAGE: &str = "\
+muchisim — MuchiSim: design exploration for multi-chip manycore systems
+
+USAGE:
+    muchisim run <app> [scale [side [threads]]] [--set KEY=VALUE]...
+    muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--csv]
+    muchisim report --store FILE [--set KEY=VALUE]... [--csv]
+
+SUBCOMMANDS:
+    run      Run one benchmark on an RMAT graph and print its report.
+             <app> is one of the suite labels (bfs, sssp, page, wcc,
+             spmv, spmm, histo, fft); scale is the RMAT scale
+             (default 11), side the square grid side in tiles
+             (default 16), threads the host threads (default 8).
+    sweep    Expand a JSON experiment spec into run points, execute the
+             ones missing from the store concurrently, and print the
+             comparison table. Re-invoking skips completed run IDs.
+    report   Rebuild the comparison table from a result store without
+             re-simulating; --set re-prices the stored runs under
+             different model parameters.
+
+COMMON OPTIONS:
+    --set KEY=VALUE   Configuration override (repeatable), e.g.
+                      --set sram_kib_per_tile=64 --set noc.width_bits=32
+    --csv             Print the table as CSV instead of aligned text.
+    -h, --help        Show this help.
+";
+
+fn usage_error(msg: impl Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `muchisim --help` for usage");
+    std::process::exit(2);
+}
+
+fn parse_num<T: FromStr>(what: &str, text: &str) -> T
+where
+    T::Err: Display,
+{
+    text.parse()
+        .unwrap_or_else(|e| usage_error(format!("invalid {what} `{text}`: {e}")))
+}
+
+fn parse_set(args: &mut std::iter::Peekable<std::vec::IntoIter<String>>) -> Override {
+    let Some(assignment) = args.next() else {
+        usage_error("--set needs a KEY=VALUE argument");
+    };
+    parse_assignment(&assignment).unwrap_or_else(|e| usage_error(e))
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return;
+    }
+    if args.is_empty() {
+        usage_error("missing subcommand (run, sweep, or report)");
+    }
+    let sub = args.remove(0);
+    let code = match sub.as_str() {
+        "run" => cmd_run(args),
+        "sweep" => cmd_sweep(args),
+        "report" => cmd_report(args),
+        other => usage_error(format!("unknown subcommand `{other}`")),
+    };
+    std::process::exit(code);
+}
+
+fn cmd_run(args: Vec<String>) -> i32 {
+    let mut positional: Vec<String> = Vec::new();
+    let mut overrides: Vec<Override> = Vec::new();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--set" => overrides.push(parse_set(&mut args)),
+            flag if flag.starts_with('-') => usage_error(format!("unknown flag `{flag}`")),
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() > 4 {
+        usage_error(format!("unexpected argument `{}`", positional[4]));
+    }
+    let Some(app_name) = positional.first() else {
+        usage_error("run needs an <app> argument");
+    };
+    let Some(app) = Benchmark::from_label(app_name) else {
+        usage_error(format!(
+            "unknown app `{app_name}`; choose one of: {}",
+            Benchmark::ALL.map(|b| b.label().to_lowercase()).join(", ")
+        ));
+    };
+    let scale: u32 = positional.get(1).map_or(11, |s| parse_num("RMAT scale", s));
+    let side: u32 = positional.get(2).map_or(16, |s| parse_num("grid side", s));
+    let threads: usize = positional
+        .get(3)
+        .map_or(8, |s| parse_num("thread count", s));
+
+    let base = SystemConfig::builder()
+        .chiplet_tiles(side, side)
+        .build()
+        .unwrap_or_else(|e| usage_error(e));
+    let cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
+
+    let graph = Arc::new(RmatConfig::scale(scale).generate(42));
+    println!(
+        "running {} on RMAT-{scale} over {side}x{side} tiles with {threads} host threads...",
+        app.label()
+    );
+    let result = match run_benchmark(app, cfg.clone(), &graph, threads) {
+        Ok(result) => result,
+        Err(e) => {
+            eprintln!("error: simulation failed: {e}");
+            return 1;
+        }
+    };
+    let failed = match &result.check_error {
+        None => {
+            println!("check: PASSED");
+            false
+        }
+        Some(e) => {
+            println!("check: FAILED ({e})");
+            true
+        }
+    };
+    let report = Report::from_counters(&cfg, &result.counters);
+    emit(&format!("{}\n", report.to_json()));
+
+    // the counters file: rerun post-processing later with new parameters
+    let counters_path = std::path::Path::new("target").join("counters.json");
+    let write = serde_json::to_string_pretty(&result.counters)
+        .map_err(|e| e.to_string())
+        .and_then(|json| std::fs::write(&counters_path, json).map_err(|e| e.to_string()));
+    match write {
+        Ok(()) => println!("counters file written to {}", counters_path.display()),
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", counters_path.display());
+            return 1;
+        }
+    }
+    i32::from(failed)
+}
+
+fn cmd_sweep(args: Vec<String>) -> i32 {
+    let mut spec_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
+    let mut host_threads: Option<usize> = None;
+    let mut csv = false;
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--spec" => {
+                spec_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--spec needs a FILE")),
+                )
+            }
+            "--store" => {
+                store_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--store needs a FILE")),
+                )
+            }
+            "--host-threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--host-threads needs a number"));
+                host_threads = Some(parse_num("host-thread count", &v));
+            }
+            "--csv" => csv = true,
+            other => usage_error(format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        usage_error("sweep needs --spec FILE");
+    };
+    let text = match std::fs::read_to_string(&spec_path) {
+        Ok(text) => text,
+        Err(e) => usage_error(format!("reading {spec_path}: {e}")),
+    };
+    let spec = ExperimentSpec::from_json(&text).unwrap_or_else(|e| usage_error(e));
+    let store_path = store_path
+        .unwrap_or_else(|| format!("target/dse/{}.jsonl", muchisim::dse::slug(&spec.name)));
+    let host_threads =
+        host_threads.unwrap_or_else(|| std::thread::available_parallelism().map_or(8, |n| n.get()));
+
+    let points = match spec.expand() {
+        Ok(points) => points,
+        Err(e) => usage_error(e),
+    };
+    println!(
+        "sweep `{}`: {} points ({} axes, {} apps, {} datasets), {} host threads x {} per run",
+        spec.name,
+        points.len(),
+        spec.axes.len(),
+        spec.apps.len(),
+        spec.datasets.len(),
+        host_threads,
+        spec.threads_per_run,
+    );
+    let mut store = match JsonlStore::open(&store_path) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let outcome = match BatchRunner::new(host_threads).run_points(
+        &points,
+        spec.threads_per_run,
+        &mut store,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "executed {} points, skipped {} already-completed points ({})",
+        outcome.executed,
+        outcome.skipped,
+        store.path().display()
+    );
+    if outcome.check_failures > 0 {
+        eprintln!(
+            "warning: {} run(s) failed their result check",
+            outcome.check_failures
+        );
+    }
+    match print_table(&store, &[], csv) {
+        Ok(()) if outcome.check_failures == 0 => 0,
+        Ok(()) => 1,
+        Err(code) => code,
+    }
+}
+
+fn cmd_report(args: Vec<String>) -> i32 {
+    let mut store_path: Option<String> = None;
+    let mut overrides: Vec<Override> = Vec::new();
+    let mut csv = false;
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--store needs a FILE")),
+                )
+            }
+            "--set" => overrides.push(parse_set(&mut args)),
+            "--csv" => csv = true,
+            other => usage_error(format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(store_path) = store_path else {
+        usage_error("report needs --store FILE");
+    };
+    let store = match JsonlStore::open(&store_path) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if store.records().is_empty() {
+        eprintln!("error: {store_path} holds no records");
+        return 1;
+    }
+    let failed: Vec<&str> = store
+        .records()
+        .iter()
+        .filter(|r| r.result.check_error.is_some())
+        .map(|r| r.run_id.as_str())
+        .collect();
+    if !failed.is_empty() {
+        eprintln!(
+            "warning: {} stored run(s) failed their result check: {}",
+            failed.len(),
+            failed.join(", ")
+        );
+    }
+    match print_table(&store, &overrides, csv) {
+        Ok(()) if failed.is_empty() => 0,
+        Ok(()) => 1,
+        Err(code) => code,
+    }
+}
+
+fn print_table(store: &JsonlStore, overrides: &[Override], csv: bool) -> Result<(), i32> {
+    let table = table_from_store(store, overrides).map_err(|e| {
+        eprintln!("error: {e}");
+        1
+    })?;
+    if csv {
+        emit(&table.to_csv());
+    } else {
+        emit(&format!("{}\n", table.to_text()));
+    }
+    Ok(())
+}
+
+/// Writes to stdout, exiting quietly when the consumer closed the pipe
+/// (`muchisim report | head` must not panic with a backtrace).
+fn emit(text: &str) {
+    use std::io::Write;
+    if std::io::stdout().write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}

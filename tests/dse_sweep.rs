@@ -1,0 +1,171 @@
+//! End-to-end tests of the design-space exploration subsystem: a JSON
+//! spec swept through the batch runner matches direct `run_benchmark`
+//! calls bit-identically, resumes with skips, and re-prices from the
+//! store without re-simulating.
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::SystemConfig;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::dse::{
+    parse_assignment, repriced_report_for, table_from_store, BatchRunner, ExperimentSpec,
+    JsonlStore,
+};
+use muchisim::energy::Report;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const SPEC: &str = r#"{
+    "name": "sweep_test",
+    "threads_per_run": 2,
+    "base": ["hierarchy.chiplet.x=4", "hierarchy.chiplet.y=4"],
+    "axes": [{"name": "sram", "points": [
+        {"label": "64KiB", "set": ["sram_kib_per_tile=64"]},
+        {"label": "128KiB", "set": ["sram_kib_per_tile=128"]}
+    ]}],
+    "apps": ["bfs"],
+    "datasets": [{"rmat": {"scale": 6, "seed": 9}}]
+}"#;
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("muchisim-dse-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn sweep_matches_direct_runs_and_resumes_with_skips() {
+    let spec = ExperimentSpec::from_json(SPEC).unwrap();
+    let mut store = JsonlStore::open(temp_store("sweep.jsonl")).unwrap();
+    let outcome = BatchRunner::new(4).run_spec(&spec, &mut store).unwrap();
+    assert_eq!((outcome.executed, outcome.skipped), (2, 0));
+    assert_eq!(outcome.check_failures, 0);
+
+    // bit-identical to driving the stack by hand
+    let graph = Arc::new(RmatConfig::scale(6).generate(9));
+    for (record, sram) in store.sorted_records().iter().zip([64u32, 128]) {
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(4, 4)
+            .sram_kib_per_tile(sram)
+            .build()
+            .unwrap();
+        assert_eq!(record.config, cfg, "spec overrides != builder config");
+        // same host-thread count as the sweep: every counter matches to
+        // the bit, including the float flit-millimeter accumulators
+        let direct = run_benchmark(Benchmark::Bfs, cfg, &graph, 2).unwrap();
+        assert_eq!(record.result.runtime_cycles, direct.runtime_cycles);
+        assert_eq!(record.result.counters, direct.counters);
+        assert_eq!(record.result.frames, direct.frames);
+    }
+
+    // a second invocation skips everything, even through a fresh reload
+    let mut reloaded = JsonlStore::open(store.path()).unwrap();
+    let again = BatchRunner::new(4).run_spec(&spec, &mut reloaded).unwrap();
+    assert_eq!((again.executed, again.skipped), (0, 2));
+
+    // ...and the reloaded store reports the same table text
+    let fresh = table_from_store(&store, &[]).unwrap();
+    let resumed = table_from_store(&reloaded, &[]).unwrap();
+    assert_eq!(fresh.to_text(), resumed.to_text());
+    assert_eq!(fresh.to_csv(), resumed.to_csv());
+}
+
+#[test]
+fn partial_store_only_runs_the_missing_points() {
+    let spec = ExperimentSpec::from_json(SPEC).unwrap();
+    let points = spec.expand().unwrap();
+
+    // complete only the first point
+    let mut store = JsonlStore::open(temp_store("partial.jsonl")).unwrap();
+    let first = BatchRunner::new(2)
+        .run_points(&points[..1], spec.threads_per_run, &mut store)
+        .unwrap();
+    assert_eq!((first.executed, first.skipped), (1, 0));
+
+    // the full sweep now only executes the second point
+    let rest = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap();
+    assert_eq!((rest.executed, rest.skipped), (1, 1));
+    assert_eq!(store.records().len(), 2);
+    let ids: Vec<&str> = store
+        .sorted_records()
+        .iter()
+        .map(|r| r.run_id.as_str())
+        .collect();
+    assert_eq!(ids, ["64KiB__BFS__RMAT-6-s9", "128KiB__BFS__RMAT-6-s9"]);
+}
+
+/// The shipped memory_design_space spec expands to exactly the configs
+/// the pre-refactor example built by hand — same hierarchy, SRAM, DRAM
+/// mode, labels, apps, dataset and order. With the engine's determinism
+/// (equal thread counts ⇒ bit-identical counters, proven above and in
+/// the leap/parallel tests), identical configs make the sweep's table
+/// bit-identical to the old bespoke loop by construction.
+#[test]
+fn memory_design_space_spec_expands_to_the_papers_configs() {
+    use muchisim::config::DramConfig;
+
+    let text = std::fs::read_to_string("specs/memory_design_space.json").unwrap();
+    let spec = ExperimentSpec::from_json(&text).unwrap();
+    assert_eq!(
+        spec.threads_per_run, 8,
+        "the original example ran 8 threads"
+    );
+    let points = spec.expand().unwrap();
+
+    // the original example's config() helper, verbatim
+    let config = |chiplet_side: u32, sram_kib: u32| {
+        let per_side = 16 / chiplet_side;
+        SystemConfig::builder()
+            .chiplet_tiles(chiplet_side, chiplet_side)
+            .package_chiplets(per_side, per_side)
+            .sram_kib_per_tile(sram_kib)
+            .dram(DramConfig::default())
+            .build()
+            .expect("valid configuration")
+    };
+    let sweep = [(16u32, 1u32), (16, 2), (16, 4), (8, 4)];
+    let apps = ["BFS", "SPMV", "SPMM"];
+
+    assert_eq!(points.len(), sweep.len() * apps.len());
+    let mut expected = Vec::new();
+    for (chiplet, sram) in sweep {
+        let label = format!("{}T/Ch {sram}KiB", chiplet * chiplet / 8);
+        for app in apps {
+            expected.push((config(chiplet, sram), label.clone(), app));
+        }
+    }
+    for (point, (cfg, label, app)) in points.iter().zip(&expected) {
+        assert_eq!(&point.config, cfg, "{}", point.run_id);
+        assert_eq!(&point.config_label, label);
+        assert_eq!(point.app.label(), *app);
+        assert_eq!(point.dataset.label(), "RMAT-11");
+        assert_eq!(
+            point.dataset,
+            muchisim::dse::DatasetSpec::Rmat { scale: 11, seed: 7 },
+            "same graph generator inputs as the original example"
+        );
+    }
+}
+
+#[test]
+fn repricing_from_the_store_needs_no_simulation() {
+    let spec = ExperimentSpec::from_json(SPEC).unwrap();
+    let mut store = JsonlStore::open(temp_store("reprice.jsonl")).unwrap();
+    BatchRunner::new(2).run_spec(&spec, &mut store).unwrap();
+    let record = &store.sorted_records()[0];
+
+    // baseline report equals a from-counters recomputation
+    let base = Report::from_counters(&record.config, &record.result.counters);
+    let repriced = repriced_report_for(record, &[]).unwrap();
+    assert_eq!(base.to_json(), repriced.to_json());
+
+    // cheaper wafers: performance identical, cost strictly lower
+    let cheaper = repriced_report_for(
+        record,
+        &[parse_assignment("params.cost.wafer_cost_usd=3000.0").unwrap()],
+    )
+    .unwrap();
+    assert_eq!(cheaper.flops, base.flops);
+    assert!(cheaper.cost.total_usd < base.cost.total_usd);
+}

@@ -8,6 +8,7 @@ use muchisim::core::{SimCounters, Simulation};
 use muchisim::data::rmat::RmatConfig;
 use muchisim::energy::Report;
 use muchisim::viz::{Counter, Heatmap, ReportRow, ReportTable, TimeSeries};
+use std::sync::Arc;
 
 #[test]
 fn dataset_to_report_pipeline() {
@@ -17,7 +18,7 @@ fn dataset_to_report_pipeline() {
         .frame_interval_cycles(500)
         .build()
         .unwrap();
-    let graph = RmatConfig::scale(9).generate(1);
+    let graph = Arc::new(RmatConfig::scale(9).generate(1));
     let result = run_benchmark(Benchmark::Bfs, cfg.clone(), &graph, 4).unwrap();
     assert!(result.check_error.is_none());
 
@@ -49,7 +50,7 @@ fn counters_file_round_trip_and_repricing() {
         .sram_kib_per_tile(2)
         .build()
         .unwrap();
-    let graph = RmatConfig::scale(9).generate(2);
+    let graph = Arc::new(RmatConfig::scale(9).generate(2));
     let result = run_benchmark(Benchmark::Spmv, cfg.clone(), &graph, 2).unwrap();
     assert!(result.check_error.is_none());
 
@@ -70,7 +71,7 @@ fn counters_file_round_trip_and_repricing() {
 
 #[test]
 fn topology_changes_traffic_not_results() {
-    let graph = RmatConfig::scale(9).generate(3);
+    let graph = Arc::new(RmatConfig::scale(9).generate(3));
     let mut hops = Vec::new();
     for topo in [NocTopology::Mesh, NocTopology::FoldedTorus] {
         let cfg = SystemConfig::builder()
@@ -92,7 +93,7 @@ fn topology_changes_traffic_not_results() {
 
 #[test]
 fn multi_chiplet_hierarchy_counts_boundary_crossings() {
-    let graph = RmatConfig::scale(9).generate(4);
+    let graph = Arc::new(RmatConfig::scale(9).generate(4));
     let cfg = SystemConfig::builder()
         .chiplet_tiles(4, 4)
         .package_chiplets(2, 2)
@@ -113,7 +114,7 @@ fn multi_chiplet_hierarchy_counts_boundary_crossings() {
 #[test]
 fn pagerank_multi_kernel_with_reduction_network() {
     let cfg = SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap();
-    let graph = RmatConfig::scale(9).generate(5);
+    let graph = Arc::new(RmatConfig::scale(9).generate(5));
     let app = PageRank::new(graph, 64, 3).with_reduction(true);
     let result = Simulation::new(cfg, app).unwrap().run_parallel(4).unwrap();
     assert!(result.check_error.is_none(), "{:?}", result.check_error);
@@ -123,7 +124,7 @@ fn pagerank_multi_kernel_with_reduction_network() {
 #[test]
 fn frequency_ratio_between_domains() {
     use muchisim::config::{ClockDomain, Frequency};
-    let graph = RmatConfig::scale(8).generate(6);
+    let graph = Arc::new(RmatConfig::scale(8).generate(6));
     // slow NoC at half the PU frequency: same functional result, longer
     // runtime in wall time
     let run = |noc_ghz: f64| {

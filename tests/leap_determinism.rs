@@ -10,6 +10,7 @@ use muchisim::config::{DramConfig, SystemConfig, Verbosity};
 use muchisim::core::SimResult;
 use muchisim::data::rmat::RmatConfig;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn run(
     bench: Benchmark,
@@ -17,7 +18,7 @@ fn run(
     dram: bool,
     threads: usize,
     leap: bool,
-    graph: &muchisim::data::Csr,
+    graph: &Arc<muchisim::data::Csr>,
 ) -> SimResult {
     let mut b = SystemConfig::builder();
     b.chiplet_tiles(side, side)
@@ -49,7 +50,7 @@ proptest! {
         use_spmv in any::<bool>(),
     ) {
         let bench = if use_spmv { Benchmark::Spmv } else { Benchmark::Bfs };
-        let graph = RmatConfig::scale(5).generate(seed);
+        let graph = Arc::new(RmatConfig::scale(5).generate(seed));
         let off = run(bench, side, dram, threads, false, &graph);
         let on = run(bench, side, dram, threads, true, &graph);
         prop_assert_eq!(on.runtime_cycles, off.runtime_cycles);

@@ -7,10 +7,11 @@
 use muchisim::apps::{run_benchmark, Benchmark};
 use muchisim::config::SystemConfig;
 use muchisim::data::rmat::RmatConfig;
+use std::sync::Arc;
 
 #[test]
 fn no_leap_env_var_forces_lockstep_with_identical_results() {
-    let graph = RmatConfig::scale(5).generate(3);
+    let graph = Arc::new(RmatConfig::scale(5).generate(3));
     let cfg = || {
         SystemConfig::builder()
             .chiplet_tiles(2, 2)

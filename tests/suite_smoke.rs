@@ -6,10 +6,11 @@
 use muchisim::apps::{run_benchmark, Benchmark};
 use muchisim::config::SystemConfig;
 use muchisim::data::rmat::RmatConfig;
+use std::sync::Arc;
 
 #[test]
 fn all_eight_apps_verify_on_2x2() {
-    let graph = RmatConfig::scale(5).generate(7); // 32 vertices, 512 edges
+    let graph = Arc::new(RmatConfig::scale(5).generate(7)); // 32 vertices, 512 edges
     for bench in Benchmark::ALL {
         let cfg = SystemConfig::builder()
             .chiplet_tiles(2, 2)
@@ -30,7 +31,7 @@ fn all_eight_apps_verify_on_2x2() {
 fn suite_is_deterministic_across_thread_counts() {
     // the paper's parallel driver promises bit-identical counters for any
     // shard split; spot-check one app end to end through the umbrella crate
-    let graph = RmatConfig::scale(5).generate(11);
+    let graph = Arc::new(RmatConfig::scale(5).generate(11));
     let run = |threads: usize| {
         let cfg = SystemConfig::builder()
             .chiplet_tiles(2, 2)
