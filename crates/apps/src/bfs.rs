@@ -152,6 +152,10 @@ impl Application for Bfs {
         Some(grid.array_addr(self.graph.owner(v), arrays::VERT, self.graph.local(v), 4))
     }
 
+    fn tile_state_bytes(&self, state: &BfsTile) -> u64 {
+        state.dist.capacity() as u64 * 4
+    }
+
     fn check(&self, tiles: &[BfsTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {
@@ -294,6 +298,10 @@ impl Application for Sssp {
                 }
             }
         }
+    }
+
+    fn tile_state_bytes(&self, state: &SsspTile) -> u64 {
+        state.dist.capacity() as u64 * 4 + state.changed.capacity() as u64
     }
 
     fn check(&self, tiles: &[SsspTile]) -> Result<(), String> {

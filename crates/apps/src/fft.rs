@@ -137,6 +137,11 @@ impl Application for Fft3d {
         ctx.store(ctx.local_addr(arrays::AUX, slot as u64, 8));
     }
 
+    fn tile_state_bytes(&self, state: &FftTile) -> u64 {
+        (state.pencil.capacity() + state.recv.capacity()) as u64
+            * std::mem::size_of::<Complex>() as u64
+    }
+
     fn check(&self, tiles: &[FftTile]) -> Result<(), String> {
         // tile (b, c) holds the x-line for y=b, z=c
         let n = self.n;

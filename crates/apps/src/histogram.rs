@@ -104,6 +104,10 @@ impl Application for Histogram {
         ctx.store(ctx.local_addr(arrays::OUT, local as u64, 4));
     }
 
+    fn tile_state_bytes(&self, state: &HistogramTile) -> u64 {
+        state.counts.capacity() as u64 * 4
+    }
+
     fn check(&self, tiles: &[HistogramTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {

@@ -132,6 +132,10 @@ impl Application for PageRank {
         ctx.store(ctx.local_addr(arrays::OUT, local as u64, 4));
     }
 
+    fn tile_state_bytes(&self, state: &PageRankTile) -> u64 {
+        (state.rank.capacity() + state.acc.capacity()) as u64 * 4
+    }
+
     fn check(&self, tiles: &[PageRankTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {

@@ -115,6 +115,10 @@ impl Application for Spmm {
         }
     }
 
+    fn tile_state_bytes(&self, state: &SpmmTile) -> u64 {
+        state.y.capacity() as u64 * 4
+    }
+
     fn check(&self, tiles: &[SpmmTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {

@@ -114,6 +114,10 @@ impl Application for Spmv {
         Some(grid.array_addr(self.graph.owner(target), array, self.graph.local(target), 4))
     }
 
+    fn tile_state_bytes(&self, state: &SpmvTile) -> u64 {
+        state.y.capacity() as u64 * 4
+    }
+
     fn check(&self, tiles: &[SpmvTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {

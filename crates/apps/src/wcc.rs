@@ -146,6 +146,10 @@ impl Application for Wcc {
         }
     }
 
+    fn tile_state_bytes(&self, state: &WccTile) -> u64 {
+        state.label.capacity() as u64 * 4 + state.changed.capacity() as u64
+    }
+
     fn check(&self, tiles: &[WccTile]) -> Result<(), String> {
         let mut got = Vec::with_capacity(self.reference.len());
         for t in tiles {

@@ -1,0 +1,161 @@
+//! Simulator-throughput scaling: the paper's core claim that MuchiSim
+//! reaches *million-tile* DUTs because per-tile host state stays small
+//! and simulation throughput stays high. Sweeps square grids from 64×64
+//! to 1024×1024 over two complementary workloads and records
+//! simulated-cycles/sec, packets/sec, and bytes/tile into
+//! `BENCH_scale.json` at the workspace root:
+//!
+//! * `bfs/rmat-10` — a *fixed* RMAT graph spread ever thinner (strong
+//!   scaling of the fabric): at 1024×1024 under 2 % of tiles own a
+//!   vertex, so this measures what idle tiles cost.
+//! * `spmv/grid2d` — a 2D-grid matrix sized to the DUT grid (weak
+//!   scaling): every tile owns one matrix row and all traffic is
+//!   near-neighbor, so this measures the active-tile footprint.
+//!
+//! `cargo bench -p muchisim-bench --bench scale` for the full sweep
+//! (the 1024×1024 BFS point runs minutes on a laptop-class host);
+//! `-- --smoke` for the scaled-down CI pass (≤ 256×256, no JSON).
+
+use muchisim_apps::{run_benchmark, Benchmark};
+use muchisim_config::{SystemConfig, Verbosity};
+use muchisim_core::SimResult;
+use muchisim_data::synthetic::grid_2d;
+use muchisim_data::Csr;
+use std::sync::Arc;
+
+/// RMAT scale of the fixed strong-scaling input.
+const RMAT_SCALE: u32 = 10;
+
+struct Row {
+    workload: &'static str,
+    side: u32,
+    result: SimResult,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        let r = &self.result;
+        format!(
+            "    {{\"workload\": \"{}\", \"grid\": \"{side}x{side}\", \"tiles\": {}, \
+             \"runtime_cycles\": {}, \"host_seconds\": {:.3}, \
+             \"sim_cycles_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
+             \"bytes_per_tile\": {:.1}, \"host_state_bytes\": {}}}",
+            self.workload,
+            r.total_tiles,
+            r.runtime_cycles,
+            r.host_seconds,
+            r.sim_cycles_per_sec(),
+            r.packets_per_sec(),
+            r.bytes_per_tile(),
+            r.host_state_bytes,
+            side = self.side,
+        )
+    }
+}
+
+fn config(side: u32) -> SystemConfig {
+    SystemConfig::builder()
+        .chiplet_tiles(side, side)
+        .verbosity(Verbosity::V1)
+        .frame_interval_cycles(16_384)
+        // bounded frame memory: at million-tile scale the telemetry must
+        // not become the footprint it measures
+        .frame_budget(64)
+        .build()
+        .expect("valid scale config")
+}
+
+fn run(workload: &'static str, bench: Benchmark, side: u32, graph: &Arc<Csr>) -> Row {
+    let result = run_benchmark(bench, config(side), graph, 1).expect("scale run completes");
+    assert!(
+        result.check_error.is_none(),
+        "{workload} {side}x{side}: {:?}",
+        result.check_error
+    );
+    println!(
+        "{workload:<12} {side:>4}x{side:<4} {:>10} tiles | {:>9} cycles | {:>8.1}s host | \
+         {:>10.0} simcyc/s | {:>10.0} pkt/s | {:>6.0} B/tile",
+        result.total_tiles,
+        result.runtime_cycles,
+        result.host_seconds,
+        result.sim_cycles_per_sec(),
+        result.packets_per_sec(),
+        result.bytes_per_tile(),
+    );
+    Row {
+        workload,
+        side,
+        result,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test");
+    let sides: &[u32] = if smoke {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    let rmat = muchisim_bench::bench_graph(RMAT_SCALE);
+
+    muchisim_bench::rule("simulator throughput & footprint vs grid size");
+    let mut rows = Vec::new();
+    for &side in sides {
+        rows.push(run("bfs/rmat-10", Benchmark::Bfs, side, &rmat));
+        let grid = Arc::new(grid_2d(side, side));
+        rows.push(run("spmv/grid2d", Benchmark::Spmv, side, &grid));
+    }
+
+    // The scalability claims, asserted rather than eyeballed:
+    // (1) sparse-workload bytes/tile *falls* with grid size (idle tiles
+    //     are near-free thanks to lazy router/queue state) ...
+    let bfs: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.workload.starts_with("bfs"))
+        .collect();
+    let first = bfs.first().expect("bfs rows");
+    let last = bfs.last().expect("bfs rows");
+    assert!(
+        last.result.bytes_per_tile() < first.result.bytes_per_tile(),
+        "idle-tile cost must shrink with scale: {:.0} B/tile at {} vs {:.0} B/tile at {}",
+        first.result.bytes_per_tile(),
+        first.side,
+        last.result.bytes_per_tile(),
+        last.side
+    );
+    // ... and stays within a small fixed budget even at the top size
+    assert!(
+        last.result.bytes_per_tile() < 2048.0,
+        "sparse bytes/tile blew the budget: {:.0}",
+        last.result.bytes_per_tile()
+    );
+    // (2) active-tile (weak-scaling) bytes/tile is flat: growing the DUT
+    //     16x-256x in tiles must not grow the per-tile footprint
+    let spmv: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.workload.starts_with("spmv"))
+        .map(|r| r.result.bytes_per_tile())
+        .collect();
+    let (min, max) = spmv
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    assert!(
+        max / min < 1.5,
+        "weak-scaling bytes/tile must stay flat, saw {min:.0}..{max:.0}"
+    );
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_scale.json");
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"scale\",\n  \"grids\": \"64x64..1024x1024\",\n  \
+         \"workloads\": [\"bfs/rmat-{RMAT_SCALE} (fixed graph, strong scaling)\", \
+         \"spmv/grid2d (matrix = DUT grid, weak scaling)\"],\n  \
+         \"host_threads\": 1,\n  \"frame_budget\": 64,\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("\nrecorded {path}");
+}

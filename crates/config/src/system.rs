@@ -234,6 +234,17 @@ pub struct SystemConfig {
     pub inter_node_link_mux: u32,
     /// Statistic-frame length in NoC cycles (paper §III-D "frames").
     pub frame_interval_cycles: u64,
+    /// Maximum statistics frames kept in host memory per worker
+    /// (clamped to ≥ 2). When the run produces more, adjacent frames are
+    /// merged pairwise and the effective interval doubles (telemetry
+    /// downsampling), bounding frame memory for arbitrarily long or
+    /// large runs. `None` keeps every frame (the default).
+    pub frame_budget: Option<u32>,
+    /// Path of a JSONL file receiving every full-resolution frame as it
+    /// closes (streaming spill). Works with or without `frame_budget`:
+    /// full fidelity lands on disk while memory holds the (possibly
+    /// downsampled) in-memory log. `None` disables spilling.
+    pub frame_spill: Option<String>,
     /// Whether the cycle driver may leap over provably event-free cycle
     /// ranges instead of stepping them one by one.
     ///
@@ -265,6 +276,8 @@ impl Default for SystemConfig {
             interposer: InterposerKind::default(),
             inter_node_link_mux: 1,
             frame_interval_cycles: 40_000,
+            frame_budget: None,
+            frame_spill: None,
             time_leap: true,
             verbosity: Verbosity::default(),
             technology_nm: 7,
@@ -585,6 +598,19 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Bounds in-memory statistics frames per worker (≥ 2); overflowing
+    /// frames merge pairwise (downsampling).
+    pub fn frame_budget(&mut self, budget: u32) -> &mut Self {
+        self.cfg.frame_budget = Some(budget);
+        self
+    }
+
+    /// Streams every full-resolution frame to a JSONL file at `path`.
+    pub fn frame_spill(&mut self, path: impl Into<String>) -> &mut Self {
+        self.cfg.frame_spill = Some(path.into());
+        self
+    }
+
     /// Enables or disables the time-leaping cycle driver (default on).
     pub fn time_leap(&mut self, enabled: bool) -> &mut Self {
         self.cfg.time_leap = enabled;
@@ -763,6 +789,23 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: SystemConfig = serde_json::from_str(&json).unwrap();
         assert!(!back.time_leap);
+    }
+
+    #[test]
+    fn frame_streaming_knobs_default_off_and_round_trip() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.frame_budget, None);
+        assert_eq!(cfg.frame_spill, None);
+        let cfg = SystemConfig::builder()
+            .frame_budget(512)
+            .frame_spill("target/frames.jsonl")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.frame_budget, Some(512));
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.frame_budget, Some(512));
+        assert_eq!(back.frame_spill.as_deref(), Some("target/frames.jsonl"));
     }
 
     #[test]

@@ -275,6 +275,14 @@ pub trait Application: Sync + Send {
     fn check(&self, _tiles: &[Self::Tile]) -> Result<(), String> {
         Ok(())
     }
+
+    /// Host heap bytes owned by one tile state *beyond* its inline size
+    /// (the engine accounts `size_of::<Self::Tile>()` itself), feeding
+    /// the simulator's bytes-per-tile telemetry. Override when `Tile`
+    /// owns heap allocations (per-vertex arrays, buffers, ...).
+    fn tile_state_bytes(&self, _state: &Self::Tile) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,9 @@
 use crate::app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
 use crate::counters::SimCounters;
 use crate::error::SimError;
-use crate::frames::{Frame, FrameLog};
+use crate::frames::{Frame, FrameLog, FrameSink, FrameSpill};
 use crate::horizon::ClockConv;
+use crate::sched::Scheduler;
 use crate::slice::ColSlice;
 use crate::tile::{SimResult, TileEngine};
 use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
@@ -12,6 +13,7 @@ use muchisim_mem::{ChannelMap, ChannelState};
 use muchisim_noc::{
     split_columns, EjectSink, Network, NetworkParams, Packet, Payload, Shard, SharedNet,
 };
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Maximum task types supported by the engine.
@@ -90,9 +92,18 @@ impl<A: Application> Simulation<A> {
     ///
     /// # Errors
     ///
-    /// See [`Simulation::run`].
+    /// See [`Simulation::run`]; additionally returns
+    /// [`SimError::FrameSpill`] when `SystemConfig::frame_spill` names a
+    /// path that cannot be created.
     pub fn run_parallel(self, threads: usize) -> Result<SimResult, SimError> {
-        let setup = SimSetup::build(&self.cfg, &self.app, threads);
+        let spill = match &self.cfg.frame_spill {
+            Some(path) => Some(
+                FrameSpill::create(path, self.cfg.frame_interval_cycles.max(1))
+                    .map_err(SimError::FrameSpill)?,
+            ),
+            None => None,
+        };
+        let setup = SimSetup::build(&self.cfg, &self.app, threads, spill);
         crate::parallel::drive(&self.cfg, &self.app, setup, self.cycle_limit)
     }
 }
@@ -104,7 +115,12 @@ pub(crate) struct SimSetup<A: Application> {
 }
 
 impl<A: Application> SimSetup<A> {
-    pub(crate) fn build(cfg: &SystemConfig, app: &A, threads: usize) -> Self {
+    pub(crate) fn build(
+        cfg: &SystemConfig,
+        app: &A,
+        threads: usize,
+        spill: Option<FrameSpill>,
+    ) -> Self {
         let channel_map = ChannelMap::from_system(cfg);
         let align = channel_map.map_or(1, |m| m.band_cols());
         let boundaries = split_columns(cfg.width(), threads, align);
@@ -122,9 +138,18 @@ impl<A: Application> SimSetup<A> {
         };
         let mut workers = Vec::with_capacity(boundaries.len());
         let mut start = 0;
-        for &end in &boundaries {
+        for (widx, &end) in boundaries.iter().enumerate() {
             let slice = ColSlice::new(start..end, cfg.width(), cfg.height());
-            workers.push(Worker::new(cfg, app, &sw, slice, grid, channel_map));
+            workers.push(Worker::new(
+                cfg,
+                app,
+                &sw,
+                slice,
+                grid,
+                channel_map,
+                widx,
+                spill.clone(),
+            ));
             start = end;
         }
         SimSetup { workers, networks }
@@ -158,8 +183,9 @@ pub(crate) struct Worker<A: Application> {
     tile_horizon: u64,
     /// Latest PU completion time seen, in femtoseconds.
     pub max_pu_fs: u64,
-    /// Completed statistics frames.
-    pub frames: FrameLog,
+    /// Completed statistics frames (streaming: bounded retention plus
+    /// optional full-resolution JSONL spill).
+    pub frames: FrameSink,
     frame_tasks: u64,
     frame_injected: u64,
     frame_ejected: u64,
@@ -168,6 +194,7 @@ pub(crate) struct Worker<A: Application> {
 }
 
 impl<A: Application> Worker<A> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cfg: &SystemConfig,
         app: &A,
@@ -175,6 +202,8 @@ impl<A: Application> Worker<A> {
         slice: ColSlice,
         grid: GridInfo,
         channel_map: Option<ChannelMap>,
+        widx: usize,
+        spill: Option<FrameSpill>,
     ) -> Self {
         let ntasks = app.task_types();
         let mut iq_caps = vec![cfg.queues.iq_capacity; ntasks as usize];
@@ -183,14 +212,18 @@ impl<A: Application> Worker<A> {
                 iq_caps[t as usize] = c;
             }
         }
+        // shared per-worker: every tile clones an Arc'd capacity table and
+        // a scheduler prototype instead of allocating its own copies
+        let iq_caps: Arc<[u32]> = iq_caps.into();
         let policy = if sw.priority_tasks.is_empty() {
             cfg.scheduling.clone()
         } else {
             SchedulingPolicy::Priority(sw.priority_tasks.clone())
         };
+        let sched_proto = Scheduler::new(policy, ntasks);
         let tiles: Vec<TileEngine> = slice
             .iter_tiles()
-            .map(|_| TileEngine::new(cfg, ntasks, iq_caps.clone(), policy.clone()))
+            .map(|_| TileEngine::new(cfg, ntasks, Arc::clone(&iq_caps), sched_proto.clone()))
             .collect();
         let states: Vec<A::Tile> = slice
             .iter_tiles()
@@ -222,11 +255,22 @@ impl<A: Application> Worker<A> {
             msg_count: 0,
             tile_horizon: u64::MAX,
             max_pu_fs: 0,
-            frames: FrameLog::new(cfg.frame_interval_cycles.max(1)),
+            frames: FrameSink::new(
+                cfg.frame_interval_cycles,
+                cfg.frame_budget.map(|b| b as usize),
+                widx,
+                spill,
+            ),
             frame_tasks: 0,
             frame_injected: 0,
             frame_ejected: 0,
-            busy_grid: vec![0; (cfg.width() * cfg.height()) as usize],
+            // the per-tile scratch grid is only ever read by V2+ frame
+            // captures; below that it would be dead weight per worker
+            busy_grid: if cfg.verbosity >= Verbosity::V2 {
+                vec![0; (cfg.width() * cfg.height()) as usize]
+            } else {
+                Vec::new()
+            },
             sends: Vec::new(),
         }
     }
@@ -268,9 +312,10 @@ impl<A: Application> Worker<A> {
                     t.init_pending = false;
                     self.msg_count -= 1;
                     (true, 0u8, Payload::empty())
-                } else if let Some(task) = t.sched.pick(&t.iqs) {
-                    let payload = t.iqs[task as usize]
-                        .pop_front()
+                } else if let Some(task) = t.sched.pick(t.iqs.as_slice()) {
+                    let payload = t
+                        .iqs
+                        .pop_front(task as usize)
                         .expect("scheduler picked a non-empty queue");
                     t.iq_msgs -= 1;
                     self.msg_count -= 1;
@@ -292,7 +337,7 @@ impl<A: Application> Worker<A> {
                 // *next* queued task of this type will touch, overlapping
                 // it with the current task's execution (paper §III-A).
                 if self.pointer_prefetch && !is_init {
-                    if let Some(next) = t.iqs[task as usize].front() {
+                    if let Some(next) = t.iqs.front(task as usize) {
                         if let Some(addr) =
                             app.prefetch_addr(task, next.as_slice(), tile_g, &self.grid)
                         {
@@ -335,11 +380,11 @@ impl<A: Application> Worker<A> {
                 for msg in self.sends.drain(..) {
                     let t = &mut self.tiles[local];
                     if msg.dst == tile_g {
-                        t.iqs[msg.task as usize].push_back(msg.payload);
+                        t.iqs.q_mut(msg.task as usize).push_back(msg.payload);
                         t.iq_msgs += 1;
                         self.msg_count += 1;
                     } else {
-                        t.cqs[msg.task as usize].push_back(msg);
+                        t.cqs.q_mut(msg.task as usize).push_back(msg);
                         t.cq_msgs += 1;
                         self.msg_count += 1;
                     }
@@ -363,7 +408,7 @@ impl<A: Application> Worker<A> {
             let tile_g = self.slice.global(local);
             let t = &mut self.tiles[local];
             for task in 0..t.cqs.len() {
-                while let Some(head) = t.cqs[task].front() {
+                while let Some(head) = t.cqs.front(task) {
                     let ready_noc = self.clock.noc_cycle_for_pu(head.at_pu_cycle);
                     if ready_noc > cycle {
                         // immature head: it matures at ready_noc
@@ -371,7 +416,7 @@ impl<A: Application> Worker<A> {
                         break;
                     }
                     let plane = task % self.planes;
-                    let msg = t.cqs[task].front().expect("checked head");
+                    let msg = t.cqs.front(task).expect("checked head");
                     let flits = 1 + msg.payload.size_bytes().div_ceil(self.flit_bytes);
                     let mut pkt = Packet::unicast(
                         tile_g,
@@ -386,7 +431,7 @@ impl<A: Application> Worker<A> {
                     }
                     match shards[plane].inject(shareds[plane], tile_g, pkt) {
                         Ok(()) => {
-                            t.cqs[task].pop_front();
+                            t.cqs.pop_front(task);
                             t.cq_msgs -= 1;
                             self.msg_count -= 1;
                             self.frame_injected += 1;
@@ -434,7 +479,6 @@ impl<A: Application> Worker<A> {
             return;
         }
         let mut frame = Frame {
-            index: self.frames.frames.len() as u64,
             start_cycle,
             tasks_delta: std::mem::take(&mut self.frame_tasks),
             injected_delta: std::mem::take(&mut self.frame_injected),
@@ -460,7 +504,7 @@ impl<A: Application> Worker<A> {
                 }
             }
         }
-        self.frames.frames.push(frame);
+        self.frames.push(frame);
     }
 
     /// Closes the kernel's last partial statistics frame at drain cycle
@@ -540,6 +584,30 @@ impl<A: Application> Worker<A> {
             total.mem.merge(t.mem.counters());
         }
     }
+
+    /// Total host bytes of this worker's simulation state: the tile
+    /// engines (with their lazily-allocated queue banks), the
+    /// application tile states, DRAM channels, frame telemetry, and
+    /// scratch buffers.
+    pub fn state_bytes(&self, app: &A) -> u64 {
+        let tiles = self.tiles.capacity() as u64 * std::mem::size_of::<TileEngine>() as u64
+            + self.tiles.iter().map(TileEngine::heap_bytes).sum::<u64>();
+        let states = self.states.capacity() as u64 * std::mem::size_of::<A::Tile>() as u64
+            + self
+                .states
+                .iter()
+                .map(|s| app.tile_state_bytes(s))
+                .sum::<u64>();
+        std::mem::size_of::<Self>() as u64
+            + tiles
+            + states
+            + self.channels.capacity() as u64 * std::mem::size_of::<ChannelState>() as u64
+            // shared per-worker capacity table, counted once
+            + self.tiles.first().map_or(0, |t| t.iq_caps.len() as u64 * 4)
+            + self.frames.heap_bytes()
+            + self.busy_grid.capacity() as u64 * 4
+            + self.sends.capacity() as u64 * std::mem::size_of::<OutMsg>() as u64
+    }
 }
 
 impl<A: Application> std::fmt::Debug for Worker<A> {
@@ -565,11 +633,11 @@ impl EjectSink for IqSink<'_> {
     fn offer(&mut self, tile: u32, pkt: Packet) -> Result<(), Packet> {
         let t = &mut self.tiles[self.slice.local(tile)];
         let task = pkt.task as usize;
-        if t.iqs[task].len() >= t.iq_caps[task] as usize {
+        if t.iqs.q_len(task) >= t.iq_caps[task] as usize {
             return Err(pkt);
         }
         t.mem.queue_write(pkt.payload.len().max(1) as u64);
-        t.iqs[task].push_back(pkt.payload);
+        t.iqs.q_mut(task).push_back(pkt.payload);
         t.iq_msgs += 1;
         *self.msg_count += 1;
         *self.delivered += 1;
@@ -622,12 +690,24 @@ pub(crate) fn finish<A: Application>(
     for n in &networks {
         counters.noc.merge(&n.counters());
     }
+    // footprint telemetry, measured before the tile states are drained
+    let host_state_bytes = workers.iter().map(|w| w.state_bytes(app)).sum::<u64>()
+        + networks.iter().map(Network::state_bytes).sum::<u64>();
     let runtime = TimePs::ps(runtime_cycles as f64 * cfg.noc_clock.operating.period_ps());
     counters.runtime_cycles = runtime_cycles;
     counters.runtime_secs = runtime.as_secs();
-    let mut frames = FrameLog::new(cfg.frame_interval_cycles.max(1));
+    // every worker captured at the same boundaries and hit the same
+    // downsampling points, so the sinks agree on the effective interval
+    let effective_interval = workers
+        .first()
+        .map_or(cfg.frame_interval_cycles.max(1), |w| {
+            w.frames.log().interval_cycles
+        });
+    let mut frames = FrameLog::new(effective_interval);
     for w in &workers {
-        frames.merge(&w.frames);
+        debug_assert_eq!(w.frames.log().interval_cycles, effective_interval);
+        frames.merge(w.frames.log());
+        w.frames.finish();
     }
     // gather per-tile states in global order for the result check
     let total = (cfg.width() * cfg.height()) as usize;
@@ -650,6 +730,8 @@ pub(crate) fn finish<A: Application>(
         frames,
         host_seconds: host_started.elapsed().as_secs_f64(),
         host_threads: threads,
+        total_tiles: total as u64,
+        host_state_bytes,
         check_error,
     }
 }

@@ -28,6 +28,11 @@ pub enum SimError {
         /// The application's failure description.
         String,
     ),
+    /// The statistics-frame spill file could not be created or written.
+    FrameSpill(
+        /// Description of the I/O failure.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +55,7 @@ impl fmt::Display for SimError {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
             SimError::CheckFailed(why) => write!(f, "result check failed: {why}"),
+            SimError::FrameSpill(why) => write!(f, "frame spill failed: {why}"),
         }
     }
 }

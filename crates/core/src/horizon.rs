@@ -67,19 +67,30 @@ pub(crate) struct ClockConv {
     pub pu_period_fs: u64,
     /// NoC clock period in femtoseconds.
     pub noc_period_fs: u64,
+    /// Whether the two domains tick in lockstep (the common 1:1
+    /// configuration). The conversions below are on the per-tile
+    /// per-cycle hot path, and the general case pays a 128-bit division
+    /// per call; equal periods make every conversion the identity.
+    same_period: bool,
 }
 
 impl ClockConv {
     pub fn from_system(cfg: &SystemConfig) -> Self {
+        let pu_period_fs = cfg.pu_clock.operating.period_fs();
+        let noc_period_fs = cfg.noc_clock.operating.period_fs();
         ClockConv {
-            pu_period_fs: cfg.pu_clock.operating.period_fs(),
-            noc_period_fs: cfg.noc_clock.operating.period_fs(),
+            pu_period_fs,
+            noc_period_fs,
+            same_period: pu_period_fs == noc_period_fs,
         }
     }
 
     /// Whether a PU whose clock stands at `pu_cycle` has been caught up
     /// by NoC time `noc_cycle` (the §III-C dispatch-eligibility rule).
     pub fn pu_ready(&self, pu_cycle: u64, noc_cycle: u64) -> bool {
+        if self.same_period {
+            return pu_cycle <= noc_cycle;
+        }
         pu_cycle as u128 * self.pu_period_fs as u128
             <= noc_cycle as u128 * self.noc_period_fs as u128
     }
@@ -87,12 +98,18 @@ impl ClockConv {
     /// The first NoC cycle at or after the PU-clock instant `pu_cycle`
     /// (the cycle at which [`ClockConv::pu_ready`] turns true).
     pub fn noc_cycle_for_pu(&self, pu_cycle: u64) -> u64 {
+        if self.same_period {
+            return pu_cycle;
+        }
         let fs = pu_cycle as u128 * self.pu_period_fs as u128;
         u64::try_from(fs.div_ceil(self.noc_period_fs as u128)).unwrap_or(u64::MAX)
     }
 
     /// PU cycles fully elapsed at NoC cycle `noc_cycle` (floor).
     pub fn pu_cycle_floor(&self, noc_cycle: u64) -> u64 {
+        if self.same_period {
+            return noc_cycle;
+        }
         let fs = noc_cycle as u128 * self.noc_period_fs as u128;
         u64::try_from(fs / self.pu_period_fs as u128).unwrap_or(u64::MAX)
     }
@@ -153,6 +170,23 @@ mod tests {
                     !c.pu_ready(pu_cycle, target - 1),
                     "pu {pu_cycle} ready before horizon {target}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn equal_period_fast_path_matches_general_formula() {
+        let fast = conv(1.0, 1.0);
+        assert!(fast.same_period);
+        let slow = ClockConv {
+            same_period: false,
+            ..fast
+        };
+        for x in [0u64, 1, 7, 1000, 123_456_789] {
+            assert_eq!(fast.noc_cycle_for_pu(x), slow.noc_cycle_for_pu(x));
+            assert_eq!(fast.pu_cycle_floor(x), slow.pu_cycle_floor(x));
+            for y in [0u64, 1, 7, 999, 123_456_789] {
+                assert_eq!(fast.pu_ready(x, y), slow.pu_ready(x, y));
             }
         }
     }

@@ -74,6 +74,7 @@ mod error;
 mod frames;
 mod horizon;
 mod parallel;
+mod queues;
 mod sched;
 mod slice;
 mod tile;
@@ -82,7 +83,7 @@ pub use app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
 pub use counters::{PuCounters, SimCounters};
 pub use engine::Simulation;
 pub use error::SimError;
-pub use frames::{Frame, FrameLog};
+pub use frames::{read_spill_jsonl, Frame, FrameLog, FrameSink, FrameSpill};
 pub use horizon::EventHorizon;
 pub use muchisim_noc::ReduceOp;
 pub use tile::SimResult;

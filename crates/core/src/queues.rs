@@ -1,0 +1,128 @@
+//! Lazily-allocated per-task-type queue banks.
+//!
+//! Every tile owns one input queue (IQ) and one channel queue (CQ) per
+//! task type, but at million-tile scale the overwhelming majority of
+//! tiles are idle at any instant and many never receive a message at
+//! all. [`LazyQueues`] defers the queue-bank allocation until the first
+//! push, so an untouched tile pays one null pointer instead of
+//! `task_types` `VecDeque` headers — with *identical* observable
+//! behavior: an unallocated bank is indistinguishable from a bank of
+//! empty queues.
+
+use std::collections::VecDeque;
+
+/// A fixed-arity bank of FIFOs, allocated on first use.
+#[derive(Debug)]
+pub(crate) struct LazyQueues<T> {
+    qs: Option<Box<[VecDeque<T>]>>,
+    n: u8,
+}
+
+impl<T> LazyQueues<T> {
+    /// A bank of `n` queues, none of them materialized yet.
+    pub fn new(n: u8) -> Self {
+        LazyQueues { qs: None, n }
+    }
+
+    /// Number of queues in the bank (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.n as usize
+    }
+
+    /// The queues as a slice: empty until the first push, `len()` queues
+    /// afterwards. Callers treating "no queues" and "all queues empty"
+    /// identically (schedulers, horizon scans) can use this directly.
+    pub fn as_slice(&self) -> &[VecDeque<T>] {
+        self.qs.as_deref().unwrap_or(&[])
+    }
+
+    /// Mutable access to queue `i`, materializing the bank.
+    pub fn q_mut(&mut self, i: usize) -> &mut VecDeque<T> {
+        let n = self.n as usize;
+        debug_assert!(i < n, "queue index {i} out of {n}");
+        &mut self
+            .qs
+            .get_or_insert_with(|| (0..n).map(|_| VecDeque::new()).collect())[i]
+    }
+
+    /// The head of queue `i` without materializing anything.
+    pub fn front(&self, i: usize) -> Option<&T> {
+        self.qs.as_deref().and_then(|qs| qs[i].front())
+    }
+
+    /// Pops the head of queue `i` without materializing anything.
+    pub fn pop_front(&mut self, i: usize) -> Option<T> {
+        self.qs.as_deref_mut().and_then(|qs| qs[i].pop_front())
+    }
+
+    /// Messages queued in queue `i` (0 when unmaterialized).
+    pub fn q_len(&self, i: usize) -> usize {
+        self.qs.as_deref().map_or(0, |qs| qs[i].len())
+    }
+
+    /// Whether the bank has been materialized.
+    #[cfg(test)]
+    pub fn is_allocated(&self) -> bool {
+        self.qs.is_some()
+    }
+
+    /// Host heap bytes owned by the bank: queue headers, ring-buffer
+    /// capacity, plus `elem_heap` for each queued element's own heap.
+    pub fn heap_bytes(&self, elem_heap: impl Fn(&T) -> u64) -> u64 {
+        let Some(qs) = self.qs.as_deref() else {
+            return 0;
+        };
+        qs.len() as u64 * std::mem::size_of::<VecDeque<T>>() as u64
+            + qs.iter()
+                .map(|q| {
+                    q.capacity() as u64 * std::mem::size_of::<T>() as u64
+                        + q.iter().map(&elem_heap).sum::<u64>()
+                })
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unallocated_bank_reads_as_empty() {
+        let q: LazyQueues<u32> = LazyQueues::new(3);
+        assert_eq!(q.len(), 3);
+        assert!(q.as_slice().is_empty());
+        assert_eq!(q.front(2), None);
+        assert_eq!(q.q_len(0), 0);
+        assert!(!q.is_allocated());
+    }
+
+    #[test]
+    fn pop_on_unallocated_bank_is_none_and_does_not_allocate() {
+        let mut q: LazyQueues<u32> = LazyQueues::new(2);
+        assert_eq!(q.pop_front(1), None);
+        assert!(!q.is_allocated());
+    }
+
+    #[test]
+    fn first_push_materializes_the_whole_bank() {
+        let mut q: LazyQueues<u32> = LazyQueues::new(3);
+        q.q_mut(1).push_back(7);
+        assert!(q.is_allocated());
+        assert_eq!(q.as_slice().len(), 3);
+        assert_eq!(q.front(1), Some(&7));
+        assert_eq!(q.q_len(1), 1);
+        assert_eq!(q.pop_front(1), Some(7));
+        assert_eq!(q.pop_front(1), None);
+    }
+
+    #[test]
+    fn fifo_order_per_queue() {
+        let mut q: LazyQueues<u32> = LazyQueues::new(2);
+        q.q_mut(0).push_back(1);
+        q.q_mut(0).push_back(2);
+        q.q_mut(1).push_back(9);
+        assert_eq!(q.pop_front(0), Some(1));
+        assert_eq!(q.pop_front(0), Some(2));
+        assert_eq!(q.pop_front(1), Some(9));
+    }
+}

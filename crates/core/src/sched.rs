@@ -2,21 +2,35 @@
 
 use muchisim_config::SchedulingPolicy;
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Which arbitration rule the scheduler applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PolicyKind {
+    RoundRobin,
+    Priority,
+    OccupancyBased,
+}
 
 /// Scheduler state for one tile's TSU.
+///
+/// The per-tile mutable state is two bytes (the policy kind and the
+/// round-robin pointer); the priority order is shared behind an [`Arc`],
+/// so cloning a prototype scheduler across a million tiles shares one
+/// order table instead of allocating a million copies.
 #[derive(Debug, Clone)]
 pub struct Scheduler {
-    policy: SchedulingPolicy,
+    kind: PolicyKind,
     /// Round-robin pointer (last served task id).
     rr_last: u8,
     /// Priority order: task ids, highest priority first (priority policy).
-    order: Vec<u8>,
+    order: Arc<[u8]>,
 }
 
 impl Scheduler {
     /// Builds a scheduler for `task_types` task ids with `policy`.
     pub fn new(policy: SchedulingPolicy, task_types: u8) -> Self {
-        let order = match &policy {
+        let (kind, order): (PolicyKind, Vec<u8>) = match &policy {
             SchedulingPolicy::Priority(listed) => {
                 let mut order = listed.clone();
                 for t in 0..task_types {
@@ -24,22 +38,27 @@ impl Scheduler {
                         order.push(t);
                     }
                 }
-                order
+                (PolicyKind::Priority, order)
             }
-            _ => (0..task_types).collect(),
+            SchedulingPolicy::RoundRobin => (PolicyKind::RoundRobin, Vec::new()),
+            SchedulingPolicy::OccupancyBased => (PolicyKind::OccupancyBased, Vec::new()),
         };
         Scheduler {
-            policy,
+            kind,
             rr_last: task_types.saturating_sub(1),
-            order,
+            order: order.into(),
         }
     }
 
     /// Picks the next task-type queue to serve, or `None` if all are
-    /// empty. `iqs[t]` is the input queue of task `t`.
+    /// empty. `iqs[t]` is the input queue of task `t`; an empty slice
+    /// (no queues materialized yet) always yields `None`.
     pub fn pick<T>(&mut self, iqs: &[VecDeque<T>]) -> Option<u8> {
-        match &self.policy {
-            SchedulingPolicy::RoundRobin => {
+        if iqs.is_empty() {
+            return None;
+        }
+        match self.kind {
+            PolicyKind::RoundRobin => {
                 let n = iqs.len() as u8;
                 for step in 1..=n {
                     let t = (self.rr_last + step) % n;
@@ -50,12 +69,12 @@ impl Scheduler {
                 }
                 None
             }
-            SchedulingPolicy::Priority(_) => self
+            PolicyKind::Priority => self
                 .order
                 .iter()
                 .copied()
                 .find(|&t| iqs.get(t as usize).is_some_and(|q| !q.is_empty())),
-            SchedulingPolicy::OccupancyBased => iqs
+            PolicyKind::OccupancyBased => iqs
                 .iter()
                 .enumerate()
                 .filter(|(_, q)| !q.is_empty())
@@ -113,5 +132,26 @@ mod tests {
         // tie broken towards the lower task id
         let iqs = queues(&[4, 4, 1]);
         assert_eq!(s.pick(&iqs), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_slice_yields_none() {
+        // lazily-allocated tiles hand an empty slice before any message
+        // arrives; every policy must decline rather than divide by zero
+        for policy in [
+            SchedulingPolicy::RoundRobin,
+            SchedulingPolicy::Priority(vec![1]),
+            SchedulingPolicy::OccupancyBased,
+        ] {
+            let mut s = Scheduler::new(policy, 3);
+            assert_eq!(s.pick::<u32>(&[]), None);
+        }
+    }
+
+    #[test]
+    fn clones_share_the_order_table() {
+        let proto = Scheduler::new(SchedulingPolicy::Priority(vec![2, 0]), 3);
+        let clone = proto.clone();
+        assert!(Arc::ptr_eq(&proto.order, &clone.order));
     }
 }

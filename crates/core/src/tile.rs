@@ -4,23 +4,31 @@ use crate::app::OutMsg;
 use crate::counters::{PuCounters, SimCounters};
 use crate::frames::FrameLog;
 use crate::horizon::EventHorizon;
+use crate::queues::LazyQueues;
 use crate::sched::Scheduler;
-use muchisim_config::{SchedulingPolicy, SystemConfig, TimePs};
+use muchisim_config::{SystemConfig, TimePs};
 use muchisim_mem::TileMemory;
 use muchisim_noc::Payload;
-use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The engine state of one tile: input queues, channel queues, PU clocks,
 /// TSU scheduler, and the tile's memory model.
+///
+/// The layout is deliberately lean — at the paper's million-tile scales
+/// this struct *is* the host memory footprint. Queue banks allocate on
+/// first use, the IQ capacity table and the scheduler's priority order
+/// are shared across all tiles of a worker, and everything else is
+/// inline.
 #[derive(Debug)]
 pub(crate) struct TileEngine {
     /// One input queue per task type (payloads only; the queue index is
-    /// the task id).
-    pub iqs: Vec<VecDeque<Payload>>,
-    /// Per-task IQ capacity in messages.
-    pub iq_caps: Vec<u32>,
+    /// the task id). Allocated on first message.
+    pub iqs: LazyQueues<Payload>,
+    /// Per-task IQ capacity in messages (shared across tiles).
+    pub iq_caps: Arc<[u32]>,
     /// One channel queue per task type, draining into the NoC.
-    pub cqs: Vec<VecDeque<OutMsg>>,
+    /// Allocated on first remote send.
+    pub cqs: LazyQueues<OutMsg>,
     /// Per-PU clock in PU cycles.
     pub pu_clock: Vec<u64>,
     /// TSU scheduler.
@@ -43,15 +51,15 @@ impl TileEngine {
     pub(crate) fn new(
         cfg: &SystemConfig,
         task_types: u8,
-        iq_caps: Vec<u32>,
-        policy: SchedulingPolicy,
+        iq_caps: Arc<[u32]>,
+        sched: Scheduler,
     ) -> Self {
         TileEngine {
-            iqs: (0..task_types).map(|_| VecDeque::new()).collect(),
+            iqs: LazyQueues::new(task_types),
             iq_caps,
-            cqs: (0..task_types).map(|_| VecDeque::new()).collect(),
+            cqs: LazyQueues::new(task_types),
             pu_clock: vec![0; cfg.pus_per_tile as usize],
-            sched: Scheduler::new(policy, task_types),
+            sched,
             init_pending: false,
             mem: TileMemory::from_system(cfg),
             counters: PuCounters::default(),
@@ -80,7 +88,17 @@ impl TileEngine {
     /// Whether any channel queue exceeds `cap` (send-side backpressure:
     /// the TSU stalls new dispatches until the NoC drains the CQs).
     pub fn cq_over(&self, cap: u32) -> bool {
-        self.cqs.iter().any(|q| q.len() > cap as usize)
+        self.cq_msgs > 0 && self.cqs.as_slice().iter().any(|q| q.len() > cap as usize)
+    }
+
+    /// Host heap bytes owned by this tile (queue banks, PU clocks, and
+    /// the memory model; the capacity table and scheduler order are
+    /// shared across tiles and counted once by the worker).
+    pub fn heap_bytes(&self) -> u64 {
+        self.iqs.heap_bytes(muchisim_noc::Payload::heap_bytes)
+            + self.cqs.heap_bytes(|m| m.payload.heap_bytes())
+            + self.pu_clock.capacity() as u64 * 8
+            + self.mem.heap_bytes()
     }
 }
 
@@ -104,7 +122,7 @@ impl EventHorizon for TileEngine {
             horizon = Some(self.pu_clock[self.earliest_pu()].max(now));
         }
         if self.cq_msgs > 0 {
-            for q in &self.cqs {
+            for q in self.cqs.as_slice() {
                 if let Some(head) = q.front() {
                     let c = head.at_pu_cycle.max(now);
                     horizon = Some(horizon.map_or(c, |h| h.min(c)));
@@ -131,6 +149,12 @@ pub struct SimResult {
     pub host_seconds: f64,
     /// Host threads used.
     pub host_threads: usize,
+    /// Tiles simulated.
+    pub total_tiles: u64,
+    /// Host bytes of simulation state at the end of the run (tile
+    /// engines, app tile states, NoC planes, frames) — capacity-based,
+    /// so it reflects the high-water footprint of the steady state.
+    pub host_state_bytes: u64,
     /// Result of the application's output check (`None` if it passed).
     pub check_error: Option<String>,
 }
@@ -164,18 +188,49 @@ impl SimResult {
             self.counters.noc.total_flit_hops() as f64 / self.host_seconds
         }
     }
+
+    /// Simulated NoC cycles per host second — the simulator-throughput
+    /// metric of the scalability table (time leaping included, so sparse
+    /// phases push this far above the lockstep rate).
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.host_seconds == 0.0 {
+            0.0
+        } else {
+            self.runtime_cycles as f64 / self.host_seconds
+        }
+    }
+
+    /// NoC packets injected per host second.
+    pub fn packets_per_sec(&self) -> f64 {
+        if self.host_seconds == 0.0 {
+            0.0
+        } else {
+            self.counters.noc.injected as f64 / self.host_seconds
+        }
+    }
+
+    /// Host simulation-state bytes per simulated tile (the paper's
+    /// small-footprint scaling claim, measured).
+    pub fn bytes_per_tile(&self) -> f64 {
+        if self.total_tiles == 0 {
+            0.0
+        } else {
+            self.host_state_bytes as f64 / self.total_tiles as f64
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use muchisim_config::SchedulingPolicy;
 
     fn tile() -> TileEngine {
         TileEngine::new(
             &SystemConfig::default(),
             2,
-            vec![8, 8],
-            SchedulingPolicy::RoundRobin,
+            vec![8, 8].into(),
+            Scheduler::new(SchedulingPolicy::RoundRobin, 2),
         )
     }
 
@@ -192,8 +247,8 @@ mod tests {
         let mut t = TileEngine::new(
             &SystemConfig::builder().pus_per_tile(3).build().unwrap(),
             1,
-            vec![8],
-            SchedulingPolicy::RoundRobin,
+            vec![8].into(),
+            Scheduler::new(SchedulingPolicy::RoundRobin, 1),
         );
         t.pu_clock = vec![10, 3, 7];
         assert_eq!(t.earliest_pu(), 1);
@@ -206,14 +261,14 @@ mod tests {
         let mut t = tile();
         assert_eq!(t.next_event_cycle(0), None, "idle tile has no horizon");
         // queued message with the PU busy until 40: horizon is the PU clock
-        t.iqs[0].push_back(Payload::empty());
+        t.iqs.q_mut(0).push_back(Payload::empty());
         t.iq_msgs = 1;
         t.pu_clock[0] = 40;
         assert_eq!(t.next_event_cycle(0), Some(40));
         // an already-dispatchable message clamps to `now`
         assert_eq!(t.next_event_cycle(50), Some(50));
         // a CQ head maturing at 25 comes earlier than the PU clock
-        t.cqs[1].push_back(OutMsg {
+        t.cqs.q_mut(1).push_back(OutMsg {
             dst: 3,
             task: 1,
             payload: Payload::empty(),
@@ -237,8 +292,13 @@ mod tests {
             frames: FrameLog::new(100),
             host_seconds: 0.01,
             host_threads: 1,
+            total_tiles: 16,
+            host_state_bytes: 4096,
             check_error: None,
         };
         assert!((r.slowdown_vs_dut() - 10_000.0).abs() < 1e-6);
+        assert!((r.sim_cycles_per_sec() - 100_000.0).abs() < 1e-6);
+        assert_eq!(r.bytes_per_tile(), 256.0);
+        assert_eq!(r.packets_per_sec(), 0.0);
     }
 }

@@ -79,6 +79,16 @@ impl BatchRunner {
         store: &mut JsonlStore,
     ) -> Result<BatchOutcome, DseError> {
         let threads_per_run = threads_per_run.max(1);
+        // frame spilling truncates and writes one shared file per
+        // simulation; concurrent sweep points would interleave into the
+        // same path and silently corrupt it, so sweeps refuse it
+        if let Some(point) = points.iter().find(|p| p.config.frame_spill.is_some()) {
+            return Err(DseError::Spec(format!(
+                "point `{}` sets frame_spill, which is unsupported in sweeps \
+                 (concurrent points would clobber one file); run it via `muchisim run`",
+                point.run_id
+            )));
+        }
         let done = store.completed_ids();
         let pending: Vec<&RunPoint> = points
             .iter()
@@ -216,6 +226,36 @@ mod tests {
             assert_eq!(a.result.runtime_cycles, b.result.runtime_cycles);
             assert_eq!(a.result.counters, b.result.counters);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frame_spill_points_are_rejected() {
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "spill_reject",
+                "base": ["hierarchy.chiplet.x=2", "hierarchy.chiplet.y=2",
+                         "frame_spill=\"/tmp/shared.jsonl\""],
+                "axes": [{"name": "sram", "points": [
+                    {"label": "64KiB", "set": ["sram_kib_per_tile=64"]},
+                    {"label": "128KiB", "set": ["sram_kib_per_tile=128"]}
+                ]}],
+                "apps": ["bfs"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spill_reject.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
+        assert!(
+            err.to_string().contains("frame_spill"),
+            "unexpected error: {err}"
+        );
+        assert!(store.records().is_empty(), "nothing may have run");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -176,6 +176,8 @@ pub(crate) mod tests {
                 frames: FrameLog::default(),
                 host_seconds: 0.0,
                 host_threads: 1,
+                total_tiles: 1,
+                host_state_bytes: 0,
                 check_error: check_error.map(str::to_string),
             },
         }

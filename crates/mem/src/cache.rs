@@ -91,6 +91,12 @@ impl CacheModel {
         self.num_sets * self.ways as u64 * self.line_bytes as u64
     }
 
+    /// Host heap bytes owned by the tag/metadata array (the simulator
+    /// models tags only, never data, so this *is* the model's footprint).
+    pub fn heap_bytes(&self) -> u64 {
+        self.lines.capacity() as u64 * std::mem::size_of::<Line>() as u64
+    }
+
     fn set_range(&self, addr: u64) -> (std::ops::Range<usize>, u64) {
         let line_addr = addr / self.line_bytes as u64;
         let set = (line_addr % self.num_sets) as usize;

@@ -202,6 +202,15 @@ impl TileMemory {
         &self.counters
     }
 
+    /// Host heap bytes owned by this tile's memory model (the cache tag
+    /// array in DRAM mode; zero in scratchpad mode).
+    pub fn heap_bytes(&self) -> u64 {
+        match &self.mode {
+            Mode::Scratchpad => 0,
+            Mode::Cache { cache, .. } => cache.heap_bytes(),
+        }
+    }
+
     /// Cache hit rate so far (1.0 in scratchpad mode).
     pub fn hit_rate(&self) -> f64 {
         self.counters.hit_rate()

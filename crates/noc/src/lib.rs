@@ -65,6 +65,6 @@ pub use counters::NocCounters;
 pub use network::{split_columns, DrainSink, EjectSink, Network, NetworkParams, SharedNet};
 pub use packet::{Packet, Payload, ReduceOp};
 pub use port::{InPort, OutDir};
-pub use route::RouteDecision;
+pub use route::{decide, RouteDecision};
 pub use shard::Shard;
 pub use topo::TopoInfo;

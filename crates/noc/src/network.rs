@@ -70,6 +70,10 @@ pub struct NetworkParams {
     pub topo: TopoInfo,
     /// Capacity of each tile's inject queue, in flits.
     pub inject_capacity_flits: u32,
+    /// Whether shards accumulate per-router busy cycles for heat-map
+    /// frames. Off by default below verbosity V2: the per-router grid is
+    /// pure overhead when no frame will ever read it.
+    pub track_busy: bool,
 }
 
 impl NetworkParams {
@@ -79,7 +83,16 @@ impl NetworkParams {
             topo: TopoInfo::from_system(cfg),
             // the inject queue models the channel-queue drain port
             inject_capacity_flits: cfg.queues.cq_capacity * 2,
+            track_busy: cfg.verbosity >= muchisim_config::Verbosity::V2,
         }
+    }
+
+    /// Enables or disables per-router busy tracking explicitly
+    /// (standalone NoC studies that read [`Network::take_busy`] without a
+    /// full system configuration).
+    pub fn track_busy(mut self, enabled: bool) -> Self {
+        self.track_busy = enabled;
+        self
     }
 }
 
@@ -123,6 +136,34 @@ impl SharedNet {
     /// Whether every cross-shard mailbox is empty.
     pub fn mailboxes_empty(&self) -> bool {
         self.mailboxes.iter().flatten().all(|m| m.lock().is_empty())
+    }
+
+    /// Host heap bytes of the shared state: the occupancy table, the
+    /// column→shard map, and the cross-shard mailboxes.
+    pub fn heap_bytes(&self) -> u64 {
+        let mailboxes: u64 = self
+            .mailboxes
+            .iter()
+            .map(|row| {
+                row.capacity() as u64 * std::mem::size_of::<Mailbox>() as u64
+                    + row
+                        .iter()
+                        .map(|m| {
+                            let inbox = m.lock();
+                            inbox.capacity() as u64
+                                * std::mem::size_of::<(u32, InPort, Packet)>() as u64
+                                + inbox
+                                    .iter()
+                                    .map(|(_, _, p)| p.payload.heap_bytes())
+                                    .sum::<u64>()
+                        })
+                        .sum::<u64>()
+            })
+            .sum();
+        self.occupancy.capacity() as u64 * std::mem::size_of::<AtomicU32>() as u64
+            + self.shard_of_col.capacity() as u64 * 4
+            + self.mailboxes.capacity() as u64 * std::mem::size_of::<Vec<Mailbox>>() as u64
+            + mailboxes
     }
 
     /// The earliest cycle after `now` at which a packet currently parked
@@ -196,7 +237,7 @@ impl Network {
             for c in start..end {
                 shard_of_col[c as usize] = i as u32;
             }
-            shards.push(Shard::new(i, start..end, topo.height));
+            shards.push(Shard::new(i, start..end, topo.height, params.track_busy));
             start = end;
         }
         let occupancy = (0..topo.num_queues()).map(|_| AtomicU32::new(0)).collect();
@@ -277,6 +318,16 @@ impl Network {
             .map(|m| m.lock().len() as u64)
             .sum();
         in_shards + in_mail
+    }
+
+    /// Total host bytes of this plane's simulation state (struct plus
+    /// all owned heap), the quantity behind the paper's bytes-per-tile
+    /// scalability argument.
+    pub fn state_bytes(&self) -> u64 {
+        std::mem::size_of::<Network>() as u64
+            + self.shared.heap_bytes()
+            + self.shards.capacity() as u64 * std::mem::size_of::<Shard>() as u64
+            + self.shards.iter().map(Shard::heap_bytes).sum::<u64>()
     }
 
     /// Merged counters across shards.
@@ -630,7 +681,11 @@ mod tests {
 
     #[test]
     fn busy_heatmap_collects_active_routers() {
-        let mut n = net(4, 1, 1);
+        let cfg = SystemConfig::builder().chiplet_tiles(4, 1).build().unwrap();
+        // below V2 the config disables tracking; heat-map consumers
+        // opt back in explicitly
+        let params = NetworkParams::from_system(&cfg).track_busy(true);
+        let mut n = Network::new(params, 1);
         n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1))
             .unwrap();
         let mut sink = DrainSink::default();
@@ -642,6 +697,55 @@ mod tests {
         let mut grid2 = vec![0u32; 4];
         n.take_busy(&mut grid2);
         assert!(grid2.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn untracked_busy_grid_stays_zero_and_costs_nothing() {
+        let mut n = net(4, 1, 1); // default config: V0, tracking off
+        n.inject(0, Packet::unicast(0, 3, 0, Payload::empty(), 1))
+            .unwrap();
+        let mut sink = DrainSink::default();
+        run_to_empty(&mut n, &mut sink, 100);
+        let mut grid = vec![0u32; 4];
+        n.take_busy(&mut grid);
+        assert!(grid.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn routers_allocate_lazily_along_the_path() {
+        let mut n = net(8, 8, 1);
+        assert_eq!(n.shards[0].allocated_routers(), 0);
+        // a single west-to-east packet along row 0 touches exactly the
+        // routers on its path
+        n.inject(0, Packet::unicast(0, 7, 0, Payload::empty(), 1))
+            .unwrap();
+        let mut sink = DrainSink::default();
+        run_to_empty(&mut n, &mut sink, 100);
+        assert_eq!(
+            n.shards[0].allocated_routers(),
+            8,
+            "only the 8 routers of row 0 should be materialized"
+        );
+    }
+
+    #[test]
+    fn idle_network_state_is_compact() {
+        let n = net(64, 64, 4);
+        let eager_routers = 64 * 64 * std::mem::size_of::<crate::router::RouterState>() as u64;
+        let idle = n.state_bytes();
+        assert!(
+            idle < eager_routers / 2,
+            "idle 64x64 plane uses {idle} B; eager router state alone would be {eager_routers} B"
+        );
+        // traffic grows the accounted state
+        let mut n = n;
+        for src in 0..64u32 {
+            n.inject(src, Packet::unicast(src, 4095, 0, Payload::empty(), 2))
+                .unwrap();
+        }
+        let mut sink = DrainSink::default();
+        run_to_empty(&mut n, &mut sink, 100_000);
+        assert!(n.state_bytes() > idle);
     }
 
     #[test]

@@ -95,6 +95,14 @@ impl Payload {
             Payload::Heap(v) => v[idx] = value,
         }
     }
+
+    /// Host heap bytes owned by this payload (0 while stored inline).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Payload::Inline { .. } => 0,
+            Payload::Heap(v) => v.len() as u64 * 4,
+        }
+    }
 }
 
 impl fmt::Debug for Payload {

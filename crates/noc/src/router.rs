@@ -56,6 +56,18 @@ impl RouterState {
             .pop_front()
             .expect("pop from empty router queue")
     }
+
+    /// Host heap bytes owned by this router's queues (buffer capacity
+    /// plus spilled payloads).
+    pub fn heap_bytes(&self) -> u64 {
+        self.queues
+            .iter()
+            .map(|q| {
+                q.capacity() as u64 * std::mem::size_of::<Packet>() as u64
+                    + q.iter().map(|p| p.payload.heap_bytes()).sum::<u64>()
+            })
+            .sum()
+    }
 }
 
 #[cfg(test)]

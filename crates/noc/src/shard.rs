@@ -8,6 +8,15 @@
 //! stepping them sequentially: every queue has exactly one upstream
 //! router, freed buffer space becomes visible at the next cycle boundary
 //! in both modes, and packets never move in the cycle they arrive.
+//!
+//! Router state is *lazily allocated*: a router that never sees a packet
+//! costs one null pointer, not thirteen input queues. At the paper's
+//! million-tile scales most routers are idle at any instant, so this is
+//! the difference between gigabytes and megabytes of host state. A
+//! router, once touched, stays allocated — its `busy_until` link clocks
+//! must survive idle gaps — which also keeps behavior bit-identical to
+//! the eager layout (a fresh router and a drained router are
+//! indistinguishable to the cycle loop).
 
 use crate::counters::{class_index, NocCounters};
 use crate::network::{EjectSink, SharedNet};
@@ -33,13 +42,21 @@ fn reserve(occ: &AtomicU32, flits: u32, cap: u32) -> bool {
     .is_ok()
 }
 
+/// Lazily materializes the router at `local`.
+fn router_mut(routers: &mut [Option<Box<RouterState>>], local: usize) -> &mut RouterState {
+    routers[local].get_or_insert_with(Box::default)
+}
+
 /// One column shard of the network.
 #[derive(Debug)]
 pub struct Shard {
     idx: usize,
     cols: Range<u32>,
-    routers: Vec<RouterState>,
+    /// Per-router state, `None` until the router first sees a packet.
+    routers: Vec<Option<Box<RouterState>>>,
     counters: NocCounters,
+    /// Per-router busy cycles of the current statistics frame; empty when
+    /// heat-map tracking is disabled (verbosity < V2).
     busy_frame: Vec<u32>,
     /// Pushes into this shard's own queues, applied at the next cycle
     /// boundary (mirrors the mailbox delay of cross-shard pushes).
@@ -50,14 +67,14 @@ pub struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(idx: usize, cols: Range<u32>, height: u32) -> Self {
+    pub(crate) fn new(idx: usize, cols: Range<u32>, height: u32, track_busy: bool) -> Self {
         let n = (cols.end - cols.start) as usize * height as usize;
         Shard {
             idx,
             cols,
-            routers: (0..n).map(|_| RouterState::default()).collect(),
+            routers: (0..n).map(|_| None).collect(),
             counters: NocCounters::default(),
-            busy_frame: vec![0; n],
+            busy_frame: if track_busy { vec![0; n] } else { Vec::new() },
             pending_pushes: Vec::new(),
             pending_frees: Vec::new(),
         }
@@ -76,6 +93,12 @@ impl Shard {
     /// Cumulative counters of this shard.
     pub fn counters(&self) -> &NocCounters {
         &self.counters
+    }
+
+    /// Routers whose state has been materialized (saw at least one
+    /// packet since construction).
+    pub fn allocated_routers(&self) -> usize {
+        self.routers.iter().filter(|r| r.is_some()).count()
     }
 
     fn local_idx(&self, tile: u32, width: u32) -> usize {
@@ -98,7 +121,7 @@ impl Shard {
 
     /// Whether all queues and pending buffers of this shard are empty.
     pub fn is_drained(&self) -> bool {
-        self.pending_pushes.is_empty() && self.routers.iter().all(|r| !r.has_traffic())
+        self.pending_pushes.is_empty() && self.routers.iter().flatten().all(|r| !r.has_traffic())
     }
 
     /// The earliest cycle after `now` at which this shard can move a
@@ -120,7 +143,7 @@ impl Shard {
             let c = pkt.ready_at.max(floor);
             horizon = Some(horizon.map_or(c, |h| h.min(c)));
         }
-        for r in &self.routers {
+        for r in self.routers.iter().flatten() {
             if horizon == Some(floor) {
                 return horizon; // cannot get any earlier
             }
@@ -143,6 +166,7 @@ impl Shard {
             + self
                 .routers
                 .iter()
+                .flatten()
                 .map(|r| r.queued_msgs as u64)
                 .sum::<u64>()
     }
@@ -164,7 +188,7 @@ impl Shard {
             return Err(pkt);
         }
         let local = self.local_idx(tile, width);
-        let freed = self.routers[local].push(InPort::Inject.index(), pkt);
+        let freed = router_mut(&mut self.routers, local).push(InPort::Inject.index(), pkt);
         if freed > 0 {
             shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
             self.counters.reduce_combines += 1;
@@ -187,7 +211,7 @@ impl Shard {
         for (local, port, pkt) in pushes {
             let tile = self.global_tile(local, width);
             let qid = shared.topo.queue_id(tile, InPort::ALL[port]);
-            let freed = self.routers[local].push(port, pkt);
+            let freed = router_mut(&mut self.routers, local).push(port, pkt);
             if freed > 0 {
                 shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
                 self.counters.reduce_combines += 1;
@@ -202,7 +226,7 @@ impl Shard {
             for (tile, port, pkt) in inbox.drain(..) {
                 let local = self.local_idx(tile, width);
                 let qid = shared.topo.queue_id(tile, port);
-                let freed = self.routers[local].push(port.index(), pkt);
+                let freed = router_mut(&mut self.routers, local).push(port.index(), pkt);
                 if freed > 0 {
                     shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
                     self.counters.reduce_combines += 1;
@@ -216,15 +240,35 @@ impl Shard {
     pub fn step(&mut self, shared: &SharedNet, cycle: u64, sink: &mut dyn EjectSink) {
         let topo = &shared.topo;
         let width = topo.width;
-        for local in 0..self.routers.len() {
-            if !self.routers[local].has_traffic() {
+        // split borrows: `router` stays mutably borrowed across the inner
+        // loop while counters / pending buffers are updated alongside
+        let Shard {
+            idx,
+            cols,
+            routers,
+            counters,
+            busy_frame,
+            pending_pushes,
+            pending_frees,
+        } = self;
+        let ncols = (cols.end - cols.start) as usize;
+        let col_start = cols.start;
+        for (local, slot) in routers.iter_mut().enumerate() {
+            let Some(router) = slot.as_deref_mut() else {
+                continue;
+            };
+            if !router.has_traffic() {
                 continue;
             }
-            let tile = self.global_tile(local, width);
+            let tile = {
+                let y = (local / ncols) as u32;
+                let x = col_start + (local % ncols) as u32;
+                y * width + x
+            };
             // Compute each ready head's routing decision once.
             let mut decisions: [Option<route::RouteDecision>; IN_PORTS] = [None; IN_PORTS];
             for (port, dec) in decisions.iter_mut().enumerate() {
-                if let Some(head) = self.routers[local].queues[port].front() {
+                if let Some(head) = router.queues[port].front() {
                     if head.ready_at <= cycle {
                         *dec = Some(route::decide(
                             topo,
@@ -250,30 +294,29 @@ impl Shard {
                 if n_cand == 0 {
                     continue;
                 }
-                if self.routers[local].busy_until[oi] > cycle {
+                if router.busy_until[oi] > cycle {
                     continue; // link still serializing a previous message
                 }
-                self.counters.collisions += (n_cand - 1) as u64;
-                let pick =
-                    Self::round_robin_pick(&candidates[..n_cand], self.routers[local].rr_ptr[oi]);
-                self.routers[local].rr_ptr[oi] = pick as u8;
+                counters.collisions += (n_cand - 1) as u64;
+                let pick = Self::round_robin_pick(&candidates[..n_cand], router.rr_ptr[oi]);
+                router.rr_ptr[oi] = pick as u8;
                 if out == OutDir::Eject {
-                    let pkt = self.routers[local].pop(pick);
+                    let pkt = router.pop(pick);
                     let flits = pkt.flits;
                     match sink.offer(tile, pkt) {
                         Ok(()) => {
-                            self.pending_frees
+                            pending_frees
                                 .push((topo.queue_id(tile, InPort::ALL[pick]), flits as u32));
-                            self.routers[local].busy_until[oi] = cycle + flits as u64;
-                            self.counters.ejected += 1;
+                            router.busy_until[oi] = cycle + flits as u64;
+                            counters.ejected += 1;
                             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
                             moved = true;
                         }
                         Err(pkt) => {
                             // refused: restore head position
-                            self.routers[local].queues[pick].push_front(pkt);
-                            self.routers[local].queued_msgs += 1;
-                            self.counters.eject_stalls += 1;
+                            router.queues[pick].push_front(pkt);
+                            router.queued_msgs += 1;
+                            counters.eject_stalls += 1;
                         }
                     }
                     continue;
@@ -283,41 +326,45 @@ impl Shard {
                     .neighbor(tile, out, vc)
                     .expect("routing chose a non-existent link");
                 let qid = topo.queue_id(dest, in_port);
-                let flits = self.routers[local].queues[pick]
+                let flits = router.queues[pick]
                     .front()
                     .expect("candidate has head")
                     .flits as u32;
                 if !reserve(&shared.occupancy[qid], flits, topo.queue_capacity_flits) {
-                    self.counters.backpressure += 1;
+                    counters.backpressure += 1;
                     continue;
                 }
-                let mut pkt = self.routers[local].pop(pick);
-                self.pending_frees
-                    .push((topo.queue_id(tile, InPort::ALL[pick]), flits));
+                let mut pkt = router.pop(pick);
+                pending_frees.push((topo.queue_id(tile, InPort::ALL[pick]), flits));
                 pkt.vc = vc;
                 let hop = topo.hop_cycles(tile, out, vc).expect("link exists");
                 pkt.ready_at = cycle + hop + (flits as u64 - 1);
-                self.routers[local].busy_until[oi] = cycle + flits as u64;
+                router.busy_until[oi] = cycle + flits as u64;
                 let class = topo.link_class(tile, out, vc).expect("link exists");
-                self.counters.msg_hops += 1;
-                self.counters.flit_hops_by_class[class_index(class)] += flits as u64;
+                counters.msg_hops += 1;
+                counters.flit_hops_by_class[class_index(class)] += flits as u64;
                 if class == muchisim_config::LinkClass::OnChip {
-                    self.counters.onchip_flit_mm += flits as f64 * topo.hop_wire_mm(out);
+                    counters.onchip_flit_mm += flits as f64 * topo.hop_wire_mm(out);
                 }
                 let dest_shard = shared.shard_of_col[(dest % width) as usize] as usize;
-                if dest_shard == self.idx {
-                    let dlocal = self.local_idx(dest, width);
-                    self.pending_pushes.push((dlocal, in_port.index(), pkt));
+                if dest_shard == *idx {
+                    let dlocal = {
+                        let (dx, dy) = (dest % width, dest / width);
+                        (dy * ncols as u32 + (dx - col_start)) as usize
+                    };
+                    pending_pushes.push((dlocal, in_port.index(), pkt));
                 } else {
                     shared
-                        .mailbox(dest_shard, self.idx)
+                        .mailbox(dest_shard, *idx)
                         .lock()
                         .push((dest, in_port, pkt));
                 }
                 moved = true;
             }
             if moved {
-                self.busy_frame[local] += 1;
+                if let Some(b) = busy_frame.get_mut(local) {
+                    *b += 1;
+                }
             }
         }
     }
@@ -332,6 +379,9 @@ impl Shard {
 
     /// Adds this shard's per-router busy-cycle counts into the global
     /// `grid` (indexed by tile id) and resets them (one statistics frame).
+    ///
+    /// No-op when busy tracking is disabled (verbosity < V2); the counts
+    /// were never accumulated.
     pub fn take_busy(&mut self, grid: &mut [u32], width: u32) {
         for local in 0..self.busy_frame.len() {
             if self.busy_frame[local] > 0 {
@@ -342,10 +392,36 @@ impl Shard {
         }
     }
 
+    /// Host heap bytes owned by this shard: the router pointer table,
+    /// every materialized router's queues, the busy grid, and the
+    /// pending-push/free buffers.
+    pub fn heap_bytes(&self) -> u64 {
+        let ptr = std::mem::size_of::<Option<Box<RouterState>>>() as u64;
+        let routers = self.routers.capacity() as u64 * ptr
+            + self
+                .routers
+                .iter()
+                .flatten()
+                .map(|r| std::mem::size_of::<RouterState>() as u64 + r.heap_bytes())
+                .sum::<u64>();
+        routers
+            + self.busy_frame.capacity() as u64 * 4
+            + self.pending_pushes.capacity() as u64
+                * std::mem::size_of::<(usize, usize, Packet)>() as u64
+            + self
+                .pending_pushes
+                .iter()
+                .map(|(_, _, p)| p.payload.heap_bytes())
+                .sum::<u64>()
+            + self.pending_frees.capacity() as u64 * std::mem::size_of::<(usize, u32)>() as u64
+    }
+
     /// Per-queue occupancy of task-type `_task` packets, for verbosity V3
     /// inspection: total packets queued at `tile`.
     pub fn queued_at(&self, tile: u32, width: u32) -> u32 {
-        self.routers[self.local_idx(tile, width)].queued_msgs
+        self.routers[self.local_idx(tile, width)]
+            .as_ref()
+            .map_or(0, |r| r.queued_msgs)
     }
 }
 
@@ -375,5 +451,15 @@ mod tests {
         let occ = AtomicU32::new(0);
         assert!(reserve(&occ, 10, 4));
         assert!(!reserve(&occ, 1, 4));
+    }
+
+    #[test]
+    fn fresh_shard_allocates_no_routers() {
+        let shard = Shard::new(0, 0..8, 8, false);
+        assert_eq!(shard.allocated_routers(), 0);
+        assert!(shard.is_drained());
+        assert_eq!(shard.queued_packets(), 0);
+        assert_eq!(shard.next_event_cycle(0), None);
+        assert!(shard.busy_frame.is_empty(), "untracked shard has no grid");
     }
 }

@@ -149,9 +149,13 @@ impl TopoInfo {
             LinkClass::InterNode => self.extra_cycles_inter_node,
         };
         let ruche_extra = if dir.is_ruche() {
-            // the long wire costs proportionally more wire delay
-            (self.ruche_factor.unwrap_or(1) as u64).saturating_sub(1)
-                * (self.hop_cycles_on_chip / 2)
+            // The long wire costs proportionally more wire delay: half a
+            // base hop per extra tile spanned. Dividing after the
+            // multiplication (with a ceiling) keeps the extra non-zero
+            // even when the base hop is a single cycle — a Ruche wire
+            // spanning R tiles is never as fast as a one-tile hop.
+            ((self.ruche_factor.unwrap_or(1) as u64).saturating_sub(1) * self.hop_cycles_on_chip)
+                .div_ceil(2)
         } else {
             0
         };
@@ -299,6 +303,30 @@ mod tests {
         let d2d = t.hop_cycles(t.tile_at(3, 0), OutDir::E, 0).unwrap();
         assert!(on >= 1);
         assert!(d2d > on);
+    }
+
+    #[test]
+    fn ruche_hop_slower_than_plain_hop_even_at_one_cycle_base() {
+        // regression: with a 1-cycle base hop, the old
+        // `(r-1) * (hop/2)` truncated to 0 extra cycles, making a
+        // 4-tile-long Ruche wire exactly as fast as a 1-tile hop
+        let cfg = SystemConfig::builder()
+            .chiplet_tiles(16, 16)
+            .ruche_factor(4)
+            .build()
+            .unwrap();
+        let t = TopoInfo::from_system(&cfg);
+        assert_eq!(t.hop_cycles_on_chip, 1, "default pitch yields 1-cycle hops");
+        let plain = t.hop_cycles(t.tile_at(2, 0), OutDir::E, 0).unwrap();
+        let ruche = t.hop_cycles(t.tile_at(2, 0), OutDir::RucheE, 0).unwrap();
+        assert!(
+            ruche > plain,
+            "ruche hop ({ruche} cy) must cost more than a plain hop ({plain} cy)"
+        );
+        // (r-1) * hop / 2, rounded up: (4-1)*1/2 -> 2 extra cycles
+        assert_eq!(ruche, plain + 2);
+        // but per tile spanned it is cheaper than stepping
+        assert!(ruche < plain * 4, "ruche must still beat 4 plain hops");
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Property-based tests on the routing function alone: on any mesh,
+//! torus, or Ruche-augmented grid, `route::decide` walks every
+//! source/destination pair with *monotonic progress* (the topology-aware
+//! remaining distance strictly decreases every hop) and delivers within a
+//! network-diameter hop bound, so no packet can ever livelock.
+
+use muchisim_config::{NocTopology, SystemConfig};
+use muchisim_noc::{decide, InPort, OutDir, TopoInfo};
+use proptest::prelude::*;
+
+fn topo(w: u32, h: u32, topology: NocTopology, ruche: Option<u32>) -> TopoInfo {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(w, h).noc_topology(topology);
+    if let Some(r) = ruche {
+        b.ruche_factor(r);
+    }
+    TopoInfo::from_system(&b.build().expect("valid grid"))
+}
+
+/// Topology-aware remaining distance from `cur` to `dst` in tile units
+/// (a Ruche hop covers `r` units at once, so "units" rather than "hops").
+fn distance(t: &TopoInfo, cur: u32, dst: u32) -> u64 {
+    let (cx, cy) = t.coords(cur);
+    let (dx, dy) = t.coords(dst);
+    let axis = |a: u32, b: u32, size: u32| -> u64 {
+        let d = (a as i64 - b as i64).unsigned_abs();
+        if t.topology == NocTopology::FoldedTorus {
+            d.min(size as u64 - d)
+        } else {
+            d
+        }
+    };
+    axis(cx, dx, t.width) + axis(cy, dy, t.height)
+}
+
+/// The worst-case shortest-path length of the grid (the mesh/torus
+/// diameter); every XY route is a shortest path, so it is a hop bound.
+fn diameter(t: &TopoInfo) -> u64 {
+    match t.topology {
+        NocTopology::Mesh => (t.width - 1) as u64 + (t.height - 1) as u64,
+        NocTopology::FoldedTorus => (t.width / 2) as u64 + (t.height / 2) as u64,
+    }
+}
+
+/// Walks one packet from `src` to `dst` through `decide`, asserting
+/// monotonic progress and the diameter hop bound.
+fn walk(t: &TopoInfo, src: u32, dst: u32) {
+    let bound = diameter(t);
+    let mut cur = src;
+    let mut port = InPort::Inject;
+    let mut vc = 0u8;
+    let mut hops = 0u64;
+    let mut remaining = distance(t, cur, dst);
+    while cur != dst {
+        let d = decide(t, cur, port, vc, dst);
+        prop_assert!(
+            d.dir != OutDir::Eject,
+            "premature eject at tile {cur} heading to {dst}"
+        );
+        let (next, in_port) = t
+            .neighbor(cur, d.dir, d.vc)
+            .expect("decide must pick an existing link");
+        let next_remaining = distance(t, next, dst);
+        prop_assert!(
+            next_remaining < remaining,
+            "hop {cur}->{next} (towards {dst}) did not make progress: {remaining} -> {next_remaining}"
+        );
+        cur = next;
+        port = in_port;
+        vc = d.vc;
+        remaining = next_remaining;
+        hops += 1;
+        prop_assert!(
+            hops <= bound,
+            "route {src}->{dst} exceeded the diameter bound {bound}"
+        );
+    }
+    let d = decide(t, cur, port, vc, dst);
+    prop_assert_eq!(d.dir, OutDir::Eject, "must eject at the destination");
+}
+
+/// Ruche factors valid for a `w`-wide chiplet: divisors of `w`, at least 2.
+fn ruche_choices(w: u32) -> Vec<Option<u32>> {
+    let mut out = vec![None];
+    for r in 2..=w {
+        if w.is_multiple_of(r) {
+            out.push(Some(r));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_route_monotonic_and_diameter_bounded(
+        w in 2u32..13,
+        h in 2u32..13,
+        torus in any::<bool>(),
+        ruche_seed in 0u32..1024,
+        pairs in proptest::collection::vec((0u64..1 << 32, 0u64..1 << 32), 1..40),
+    ) {
+        let topology = if torus { NocTopology::FoldedTorus } else { NocTopology::Mesh };
+        let choices = ruche_choices(w);
+        let ruche = choices[ruche_seed as usize % choices.len()];
+        let t = topo(w, h, topology, ruche);
+        let tiles = (w * h) as u64;
+        for (s, d) in pairs {
+            walk(&t, (s % tiles) as u32, (d % tiles) as u32);
+        }
+    }
+
+    #[test]
+    fn prop_route_exhaustive_on_small_grids(
+        w in 2u32..7,
+        h in 2u32..7,
+        torus in any::<bool>(),
+    ) {
+        let topology = if torus { NocTopology::FoldedTorus } else { NocTopology::Mesh };
+        let t = topo(w, h, topology, None);
+        for src in 0..w * h {
+            for dst in 0..w * h {
+                walk(&t, src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn prop_route_exhaustive_with_ruche(
+        h in 2u32..9,
+        torus in any::<bool>(),
+    ) {
+        // 8-wide chiplet with every valid ruche factor, all pairs
+        let topology = if torus { NocTopology::FoldedTorus } else { NocTopology::Mesh };
+        for r in [2u32, 4, 8] {
+            let t = topo(8, h, topology, Some(r));
+            for src in 0..8 * h {
+                for dst in 0..8 * h {
+                    walk(&t, src, dst);
+                }
+            }
+        }
+    }
+}

@@ -37,6 +37,10 @@ pub struct ReportRow {
     pub hit_rate: f64,
     /// Host (simulator) seconds.
     pub sim_secs: f64,
+    /// Simulator throughput in simulated NoC cycles per host second.
+    pub sim_cycles_per_sec: f64,
+    /// Host simulation-state bytes per simulated tile.
+    pub host_bytes_per_tile: f64,
 }
 
 impl ReportRow {
@@ -63,6 +67,8 @@ impl ReportRow {
             msg_hops: result.counters.noc.msg_hops,
             hit_rate: result.counters.mem.hit_rate(),
             sim_secs: result.host_seconds,
+            sim_cycles_per_sec: result.sim_cycles_per_sec(),
+            host_bytes_per_tile: result.bytes_per_tile(),
         }
     }
 }
@@ -90,11 +96,13 @@ impl ReportTable {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "config,app,dataset,runtime_s,flops,app_throughput,energy_j,power_w,\
-             cost_usd,flops_per_watt,flops_per_dollar,msg_hops,hit_rate,sim_s\n",
+             cost_usd,flops_per_watt,flops_per_dollar,msg_hops,hit_rate,sim_s,\
+             sim_cycles_per_s,host_bytes_per_tile\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{:.6e},{:.4e},{:.4e},{:.4e},{:.3},{:.2},{:.4e},{:.4e},{},{:.4},{:.3}\n",
+                "{},{},{},{:.6e},{:.4e},{:.4e},{:.4e},{:.3},{:.2},{:.4e},{:.4e},{},{:.4},{:.3},\
+                 {:.4e},{:.1}\n",
                 r.config,
                 r.app,
                 r.dataset,
@@ -108,7 +116,9 @@ impl ReportTable {
                 r.flops_per_dollar,
                 r.msg_hops,
                 r.hit_rate,
-                r.sim_secs
+                r.sim_secs,
+                r.sim_cycles_per_sec,
+                r.host_bytes_per_tile
             ));
         }
         out
@@ -158,13 +168,29 @@ impl ReportTable {
     /// A human-readable aligned table of the key metrics.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10}\n",
-            "config", "app", "dataset", "runtime_s", "flops", "power_w", "cost_usd"
+            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}\n",
+            "config",
+            "app",
+            "dataset",
+            "runtime_s",
+            "flops",
+            "power_w",
+            "cost_usd",
+            "simcyc/s",
+            "B/tile"
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0}\n",
-                r.config, r.app, r.dataset, r.runtime_secs, r.flops, r.power_w, r.cost_usd
+                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0} {:>10.3e} {:>8.0}\n",
+                r.config,
+                r.app,
+                r.dataset,
+                r.runtime_secs,
+                r.flops,
+                r.power_w,
+                r.cost_usd,
+                r.sim_cycles_per_sec,
+                r.host_bytes_per_tile
             ));
         }
         out
@@ -191,6 +217,8 @@ mod tests {
             msg_hops: 5,
             hit_rate: 0.9,
             sim_secs: 0.1,
+            sim_cycles_per_sec: 1e6,
+            host_bytes_per_tile: 640.0,
         }
     }
 
@@ -201,7 +229,11 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.lines().count() == 2);
         assert!(csv.contains("base,BFS,rmat"));
-        assert!(t.to_text().contains("BFS"));
+        assert!(csv.lines().next().unwrap().contains("sim_cycles_per_s"));
+        assert!(csv.lines().next().unwrap().contains("host_bytes_per_tile"));
+        let text = t.to_text();
+        assert!(text.contains("BFS"));
+        assert!(text.contains("B/tile"));
     }
 
     #[test]

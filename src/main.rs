@@ -30,7 +30,7 @@ const USAGE: &str = "\
 muchisim — MuchiSim: design exploration for multi-chip manycore systems
 
 USAGE:
-    muchisim run <app> [scale [side [threads]]] [--set KEY=VALUE]...
+    muchisim run <app> [scale [side [threads]]] [--telemetry] [--set KEY=VALUE]...
     muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--csv]
     muchisim report --store FILE [--set KEY=VALUE]... [--csv]
 
@@ -40,6 +40,10 @@ SUBCOMMANDS:
              spmv, spmm, histo, fft); scale is the RMAT scale
              (default 11), side the square grid side in tiles
              (default 16), threads the host threads (default 8).
+             --telemetry additionally prints simulator throughput
+             (simulated cycles/s, packets/s) and the host memory
+             footprint (bytes/tile). Frame streaming is reachable via
+             --set frame_budget=N and --set frame_spill=PATH.
     sweep    Expand a JSON experiment spec into run points, execute the
              ones missing from the store concurrently, and print the
              comparison table. Re-invoking skips completed run IDs.
@@ -97,10 +101,12 @@ fn main() {
 fn cmd_run(args: Vec<String>) -> i32 {
     let mut positional: Vec<String> = Vec::new();
     let mut overrides: Vec<Override> = Vec::new();
+    let mut telemetry = false;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--set" => overrides.push(parse_set(&mut args)),
+            "--telemetry" => telemetry = true,
             flag if flag.starts_with('-') => usage_error(format!("unknown flag `{flag}`")),
             _ => positional.push(arg),
         }
@@ -151,6 +157,19 @@ fn cmd_run(args: Vec<String>) -> i32 {
             true
         }
     };
+    if telemetry {
+        println!(
+            "telemetry: {} tiles | {:.3} Msimcycles/s | {:.3} Mpackets/s | \
+             {:.0} bytes/tile ({:.1} MiB simulation state) | host {:.2}s x{} threads",
+            result.total_tiles,
+            result.sim_cycles_per_sec() / 1e6,
+            result.packets_per_sec() / 1e6,
+            result.bytes_per_tile(),
+            result.host_state_bytes as f64 / (1u64 << 20) as f64,
+            result.host_seconds,
+            result.host_threads,
+        );
+    }
     let report = Report::from_counters(&cfg, &result.counters);
     emit(&format!("{}\n", report.to_json()));
 

@@ -1,0 +1,134 @@
+//! End-to-end tests of the streaming frame telemetry: bounded in-memory
+//! retention (`frame_budget`) with delta conservation, and the
+//! full-resolution JSONL spill (`frame_spill`) reconstructing exactly
+//! the frames an unbounded run records — including across workers.
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::{SystemConfig, SystemConfigBuilder, Verbosity};
+use muchisim::core::read_spill_jsonl;
+use muchisim::data::rmat::RmatConfig;
+use std::sync::Arc;
+
+fn base() -> SystemConfigBuilder {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(4, 4)
+        .verbosity(Verbosity::V2)
+        .frame_interval_cycles(64);
+    b
+}
+
+fn graph() -> Arc<muchisim::data::Csr> {
+    Arc::new(RmatConfig::scale(5).generate(99))
+}
+
+#[test]
+fn frame_budget_bounds_retention_and_conserves_totals() {
+    let g = graph();
+    let full = run_benchmark(Benchmark::Bfs, base().build().unwrap(), &g, 1).unwrap();
+    let capped = run_benchmark(
+        Benchmark::Bfs,
+        base().frame_budget(4).build().unwrap(),
+        &g,
+        1,
+    )
+    .unwrap();
+    assert!(
+        full.frames.len() > 4,
+        "test needs enough frames to overflow the budget (got {})",
+        full.frames.len()
+    );
+    assert!(capped.frames.len() <= 4);
+    assert!(capped.frames.interval_cycles > full.frames.interval_cycles);
+    // counters are untouched by frame downsampling
+    assert_eq!(full.counters, capped.counters);
+    // frame deltas are merged, never dropped
+    let sum = |frames: &muchisim::core::FrameLog, f: fn(&muchisim::core::Frame) -> u64| {
+        frames.frames.iter().map(f).sum::<u64>()
+    };
+    assert_eq!(
+        sum(&full.frames, |f| f.tasks_delta),
+        sum(&capped.frames, |f| f.tasks_delta)
+    );
+    assert_eq!(
+        sum(&full.frames, |f| f.injected_delta),
+        sum(&capped.frames, |f| f.injected_delta)
+    );
+    assert_eq!(
+        sum(&full.frames, |f| f.ejected_delta),
+        sum(&capped.frames, |f| f.ejected_delta)
+    );
+    // per-tile activity grids are conserved too
+    let grid_total = |frames: &muchisim::core::FrameLog| {
+        let mut g = vec![0u64; 16];
+        for f in &frames.frames {
+            for (t, v) in f.pu_grid(16).into_iter().enumerate() {
+                g[t] += v as u64;
+            }
+        }
+        g
+    };
+    assert_eq!(grid_total(&full.frames), grid_total(&capped.frames));
+}
+
+#[test]
+fn frame_spill_reconstructs_full_resolution_across_workers() {
+    let g = graph();
+    let full = run_benchmark(Benchmark::Bfs, base().build().unwrap(), &g, 1).unwrap();
+
+    let dir = std::env::temp_dir().join("muchisim_frame_spill_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("frames.jsonl");
+    let path_str = path.to_str().unwrap().to_string();
+
+    // aggressive budget + spill, two workers: memory holds a downsampled
+    // log while the spill keeps full resolution
+    let spilled = run_benchmark(
+        Benchmark::Bfs,
+        base()
+            .frame_budget(2)
+            .frame_spill(path_str.clone())
+            .build()
+            .unwrap(),
+        &g,
+        2,
+    )
+    .unwrap();
+    assert!(spilled.frames.len() <= 2);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let restored = read_spill_jsonl(&text).expect("spill parses");
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(restored.interval_cycles, full.frames.interval_cycles);
+    assert_eq!(restored.len(), full.frames.len());
+    for (r, f) in restored.frames.iter().zip(&full.frames.frames) {
+        assert_eq!(r.index, f.index);
+        assert_eq!(r.start_cycle, f.start_cycle);
+        assert_eq!(r.tasks_delta, f.tasks_delta, "frame {}", f.index);
+        assert_eq!(r.injected_delta, f.injected_delta, "frame {}", f.index);
+        assert_eq!(r.ejected_delta, f.ejected_delta, "frame {}", f.index);
+        // sparse pair order differs across worker counts; the grids are
+        // the simulated quantity
+        assert_eq!(r.router_grid(16), f.router_grid(16), "frame {}", f.index);
+        assert_eq!(r.pu_grid(16), f.pu_grid(16), "frame {}", f.index);
+    }
+}
+
+#[test]
+fn unwritable_spill_path_is_a_clean_error() {
+    let g = graph();
+    let err = run_benchmark(
+        Benchmark::Bfs,
+        base()
+            .frame_spill("/nonexistent-dir/frames.jsonl")
+            .build()
+            .unwrap(),
+        &g,
+        1,
+    )
+    .unwrap_err();
+    assert!(
+        err.to_string().contains("frame spill"),
+        "unexpected error: {err}"
+    );
+}

@@ -1,0 +1,196 @@
+//! Golden-trace regression tests: fixed-seed checksums of the full
+//! counter set and the per-frame activity grids for the 8-app suite on
+//! small grids across all three topologies (mesh, folded torus, Ruche).
+//!
+//! These pin the *simulated behavior* bit-for-bit, so host-side state
+//! refactors (lazy router queues, pooled tile state, streaming frame
+//! aggregation) are provably behavior-preserving: any change to a
+//! counter, a frame delta, or an activity grid changes a checksum.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```text
+//! MUCHISIM_BLESS=1 cargo test --test golden_traces
+//! ```
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::{NocTopology, SystemConfig, Verbosity};
+use muchisim::core::SimResult;
+use muchisim::data::rmat::RmatConfig;
+use serde_json::JsonValue;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/traces.json");
+const GRAPH_SEED: u64 = 0xC0FF_EE00;
+const GRAPH_SCALE: u32 = 5; // 32 vertices, enough traffic on 8x8
+
+/// FNV-1a, 64-bit.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+}
+
+/// Checksums everything the simulation *means*: runtime, every counter,
+/// and per-frame scalar deltas plus the dense per-tile activity grids.
+///
+/// Grids (not raw sparse pairs) are hashed deliberately: the order in
+/// which workers contribute sparse `(tile, value)` pairs is a host-side
+/// artifact, while the dense grid is the simulated quantity.
+fn checksum(result: &SimResult, total_tiles: u32) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(result.runtime_cycles);
+    // counters via their canonical JSON (field order is declaration
+    // order in the shim, floats are bit-exact across runs)
+    h.bytes(
+        serde_json::to_string(&result.counters)
+            .expect("counters serialize")
+            .as_bytes(),
+    );
+    h.u64(result.frames.interval_cycles);
+    h.u64(result.frames.len() as u64);
+    for frame in &result.frames.frames {
+        h.u64(frame.index);
+        h.u64(frame.start_cycle);
+        h.u64(frame.tasks_delta);
+        h.u64(frame.injected_delta);
+        h.u64(frame.ejected_delta);
+        for grid in [frame.router_grid(total_tiles), frame.pu_grid(total_tiles)] {
+            for v in grid {
+                h.u64(v as u64);
+            }
+        }
+        let mut iq = vec![0u64; total_tiles as usize];
+        for &(t, v) in &frame.iq_occupancy {
+            iq[t as usize] += v as u64;
+        }
+        for v in iq {
+            h.u64(v);
+        }
+    }
+    h.0
+}
+
+fn config(side: u32, topo: NocTopology, ruche: Option<u32>) -> SystemConfig {
+    let mut b = SystemConfig::builder();
+    b.chiplet_tiles(side, side)
+        .noc_topology(topo)
+        .verbosity(Verbosity::V3)
+        .frame_interval_cycles(256);
+    if let Some(r) = ruche {
+        b.ruche_factor(r);
+    }
+    b.build().expect("valid golden config")
+}
+
+fn cases() -> Vec<(String, SystemConfig)> {
+    let mut out = Vec::new();
+    for side in [2u32, 4, 8] {
+        for (name, topo, ruche) in [
+            ("mesh", NocTopology::Mesh, None),
+            ("torus", NocTopology::FoldedTorus, None),
+            ("ruche", NocTopology::Mesh, Some(2)),
+        ] {
+            out.push((format!("{side}x{side}-{name}"), config(side, topo, ruche)));
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_traces_match_committed_checksums() {
+    let bless = std::env::var_os("MUCHISIM_BLESS").is_some();
+    let graph = Arc::new(RmatConfig::scale(GRAPH_SCALE).generate(GRAPH_SEED));
+    let committed: Option<JsonValue> = if bless {
+        None
+    } else {
+        let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+            panic!("missing golden file {GOLDEN_PATH} ({e}); bless with MUCHISIM_BLESS=1")
+        });
+        Some(serde_json::from_str(&text).expect("golden file parses"))
+    };
+
+    let mut blessed = String::from("{\n");
+    let mut mismatches = Vec::new();
+    let mut n = 0usize;
+    for (cfg_name, cfg) in cases() {
+        let tiles = cfg.width() * cfg.height();
+        for bench in Benchmark::ALL {
+            let key = format!("{}-{}", bench.label(), cfg_name);
+            // single-threaded: results are bit-identical for any thread
+            // count (pinned by the leap/suite determinism tests), and the
+            // spin-barrier driver thrashes on single-CPU CI hosts
+            let result = run_benchmark(bench, cfg.clone(), &graph, 1)
+                .unwrap_or_else(|e| panic!("{key} failed to run: {e}"));
+            assert!(
+                result.check_error.is_none(),
+                "{key} verifier failed: {:?}",
+                result.check_error
+            );
+            let hash = checksum(&result, tiles);
+            if bless {
+                if n > 0 {
+                    blessed.push_str(",\n");
+                }
+                write!(
+                    blessed,
+                    "  \"{key}\": {{\"hash\": \"{hash:#018x}\", \"runtime_cycles\": {}, \"frames\": {}}}",
+                    result.runtime_cycles,
+                    result.frames.len()
+                )
+                .unwrap();
+            } else {
+                let want = committed
+                    .as_ref()
+                    .and_then(JsonValue::as_object)
+                    .and_then(|m| m.get(&key))
+                    .and_then(JsonValue::as_object)
+                    .unwrap_or_else(|| panic!("{key} missing from {GOLDEN_PATH}; re-bless"));
+                let want_hash = want
+                    .get("hash")
+                    .and_then(JsonValue::as_str)
+                    .expect("hash field");
+                let got = format!("{hash:#018x}");
+                if got != want_hash {
+                    mismatches.push(format!(
+                        "{key}: got {got}, committed {want_hash} \
+                         (runtime {} vs committed {})",
+                        result.runtime_cycles,
+                        want.get("runtime_cycles")
+                            .and_then(JsonValue::as_u64)
+                            .unwrap_or(0),
+                    ));
+                }
+            }
+            n += 1;
+        }
+    }
+    assert_eq!(n, 72, "8 apps x 3 grids x 3 topologies");
+    if bless {
+        blessed.push_str("\n}\n");
+        std::fs::write(GOLDEN_PATH, blessed).expect("write golden file");
+        eprintln!("blessed {n} golden traces into {GOLDEN_PATH}");
+        return;
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} of {n} golden traces diverged (behavior change!):\n{}\n\
+         If the model change is intentional, re-bless with MUCHISIM_BLESS=1.",
+        mismatches.len(),
+        mismatches.join("\n")
+    );
+}
