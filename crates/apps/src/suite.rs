@@ -3,9 +3,10 @@
 //! figure-regeneration benches).
 
 use crate::{Bfs, Fft3d, Histogram, PageRank, Spmm, Spmv, Sssp, SyncMode, Wcc};
-use muchisim_config::SystemConfig;
+use muchisim_config::{SystemConfig, TrafficPattern};
 use muchisim_core::{SimError, SimResult, Simulation};
 use muchisim_data::Csr;
+use muchisim_traffic::TrafficApp;
 use std::fmt;
 use std::sync::Arc;
 
@@ -17,7 +18,8 @@ pub fn high_degree_root(graph: &Csr) -> u32 {
         .unwrap_or(0)
 }
 
-/// One of the eight suite applications (paper §III-G).
+/// One of the eight suite applications (paper §III-G), or a synthetic
+/// NoC-characterization workload (`muchisim-traffic`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Benchmark {
     /// Breadth-First Search (asynchronous variant).
@@ -36,6 +38,10 @@ pub enum Benchmark {
     Histogram,
     /// 3D FFT (n³ elements over the n×n grid; ignores the graph).
     Fft,
+    /// Synthetic traffic with the given spatial pattern; offered load,
+    /// window, sizes and seed come from `SystemConfig::traffic` and the
+    /// graph is ignored.
+    Traffic(TrafficPattern),
 }
 
 impl Benchmark {
@@ -62,15 +68,28 @@ impl Benchmark {
         Benchmark::Histogram,
     ];
 
+    /// The synthetic-traffic workloads, one per spatial pattern.
+    pub const TRAFFIC: [Benchmark; 6] = [
+        Benchmark::Traffic(TrafficPattern::UniformRandom),
+        Benchmark::Traffic(TrafficPattern::BitComplement),
+        Benchmark::Traffic(TrafficPattern::Transpose),
+        Benchmark::Traffic(TrafficPattern::Shuffle),
+        Benchmark::Traffic(TrafficPattern::NearestNeighbor),
+        Benchmark::Traffic(TrafficPattern::Hotspot),
+    ];
+
     /// Parses a benchmark from its label, case-insensitively (`"bfs"`,
-    /// `"BFS"`, `"histo"`, ...). The inverse of [`Benchmark::label`].
+    /// `"BFS"`, `"histo"`, `"traf-uniform"`, ...). The inverse of
+    /// [`Benchmark::label`].
     pub fn from_label(name: &str) -> Option<Benchmark> {
         Benchmark::ALL
             .into_iter()
+            .chain(Benchmark::TRAFFIC)
             .find(|b| b.label().eq_ignore_ascii_case(name))
     }
 
-    /// Short uppercase label as used in the paper's figures.
+    /// Short uppercase label as used in the paper's figures (traffic
+    /// workloads: `TRAF-` plus the pattern).
     pub fn label(self) -> &'static str {
         match self {
             Benchmark::Bfs => "BFS",
@@ -81,6 +100,12 @@ impl Benchmark {
             Benchmark::Spmm => "SPMM",
             Benchmark::Histogram => "HISTO",
             Benchmark::Fft => "FFT",
+            Benchmark::Traffic(TrafficPattern::UniformRandom) => "TRAF-UNIFORM",
+            Benchmark::Traffic(TrafficPattern::BitComplement) => "TRAF-BITCOMP",
+            Benchmark::Traffic(TrafficPattern::Transpose) => "TRAF-TRANSPOSE",
+            Benchmark::Traffic(TrafficPattern::Shuffle) => "TRAF-SHUFFLE",
+            Benchmark::Traffic(TrafficPattern::NearestNeighbor) => "TRAF-NEIGHBOR",
+            Benchmark::Traffic(TrafficPattern::Hotspot) => "TRAF-HOTSPOT",
         }
     }
 }
@@ -153,6 +178,10 @@ pub fn run_benchmark(
             assert_eq!(cfg.width(), cfg.height(), "FFT needs a square grid");
             Simulation::new(cfg, Fft3d::new(n, 7))?.run_parallel(threads)
         }
+        Benchmark::Traffic(pattern) => {
+            let app = TrafficApp::new(&cfg, pattern)?;
+            Simulation::new(cfg, app)?.run_parallel(threads)
+        }
     }
 }
 
@@ -162,11 +191,33 @@ mod tests {
 
     #[test]
     fn from_label_round_trips_case_insensitively() {
-        for b in Benchmark::ALL {
+        for b in Benchmark::ALL.into_iter().chain(Benchmark::TRAFFIC) {
             assert_eq!(Benchmark::from_label(b.label()), Some(b));
             assert_eq!(Benchmark::from_label(&b.label().to_lowercase()), Some(b));
         }
         assert_eq!(Benchmark::from_label("nope"), None);
+        assert_eq!(
+            Benchmark::from_label("traf-transpose"),
+            Some(Benchmark::Traffic(TrafficPattern::Transpose))
+        );
+    }
+
+    #[test]
+    fn traffic_benchmarks_run_through_the_suite_harness() {
+        let mut cfg = SystemConfig::builder().chiplet_tiles(4, 4).build().unwrap();
+        cfg.traffic.cycles = 200;
+        // traffic ignores the graph, like FFT
+        let graph = Arc::new(muchisim_data::synthetic::grid_2d(2, 2));
+        let result = run_benchmark(
+            Benchmark::Traffic(TrafficPattern::Transpose),
+            cfg,
+            &graph,
+            1,
+        )
+        .unwrap();
+        assert!(result.check_error.is_none(), "{:?}", result.check_error);
+        assert!(result.counters.noc.injected > 0);
+        assert_eq!(result.noc_latency.count, result.counters.noc.ejected);
     }
 
     #[test]

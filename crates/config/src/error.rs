@@ -44,6 +44,11 @@ pub enum ConfigError {
     NoDramChannels,
     /// The inter-node link multiplexing factor must be non-zero.
     ZeroLinkMux,
+    /// The synthetic-traffic parameters are invalid.
+    Traffic {
+        /// What is wrong with them.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -82,6 +87,7 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroLinkMux => {
                 write!(f, "inter-node link multiplexing factor must be non-zero")
             }
+            ConfigError::Traffic { why } => write!(f, "invalid traffic parameters: {why}"),
         }
     }
 }
@@ -105,6 +111,7 @@ mod tests {
             ConfigError::NoNocs.to_string(),
             ConfigError::NoDramChannels.to_string(),
             ConfigError::ZeroLinkMux.to_string(),
+            ConfigError::Traffic { why: "rate" }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

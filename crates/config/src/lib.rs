@@ -39,6 +39,7 @@ mod hierarchy;
 mod params;
 pub mod presets;
 mod system;
+mod traffic;
 mod units;
 
 pub use error::ConfigError;
@@ -51,4 +52,5 @@ pub use system::{
     QueueConfig, ReductionTreeConfig, SchedulingPolicy, SystemConfig, SystemConfigBuilder,
     Verbosity,
 };
+pub use traffic::{TrafficParams, TrafficPattern};
 pub use units::{Area, Energy, Frequency, TimePs};

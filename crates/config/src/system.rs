@@ -3,6 +3,7 @@
 use crate::error::ConfigError;
 use crate::hierarchy::{Extent, Hierarchy, LinkClass, TileCoord};
 use crate::params::ModelParams;
+use crate::traffic::TrafficParams;
 use crate::units::{Frequency, TimePs};
 use serde::{Deserialize, Serialize};
 
@@ -245,6 +246,16 @@ pub struct SystemConfig {
     /// full fidelity lands on disk while memory holds the (possibly
     /// downsampled) in-memory log. `None` disables spilling.
     pub frame_spill: Option<String>,
+    /// Path of a JSONL file receiving the full NoC injection trace — one
+    /// `(cycle, src, dst, task, payload)` event per packet entering the
+    /// network — written when the run completes. A recorded trace can be
+    /// replayed app-free under a different `noc.*` configuration (see the
+    /// `muchisim-traffic` crate). `None` disables recording.
+    pub noc_trace: Option<String>,
+    /// Synthetic traffic-generator parameters (used by the traffic
+    /// benchmarks; inert for ordinary applications). Sweepable like any
+    /// other field: `traffic.pattern=Transpose`, `traffic.rate=0.08`.
+    pub traffic: TrafficParams,
     /// Whether the cycle driver may leap over provably event-free cycle
     /// ranges instead of stepping them one by one.
     ///
@@ -278,6 +289,8 @@ impl Default for SystemConfig {
             frame_interval_cycles: 40_000,
             frame_budget: None,
             frame_spill: None,
+            noc_trace: None,
+            traffic: TrafficParams::default(),
             time_leap: true,
             verbosity: Verbosity::default(),
             technology_nm: 7,
@@ -439,6 +452,7 @@ impl SystemConfig {
         if self.inter_node_link_mux == 0 {
             return Err(ConfigError::ZeroLinkMux);
         }
+        self.traffic.validate()?;
         Ok(())
     }
 }
@@ -608,6 +622,18 @@ impl SystemConfigBuilder {
     /// Streams every full-resolution frame to a JSONL file at `path`.
     pub fn frame_spill(&mut self, path: impl Into<String>) -> &mut Self {
         self.cfg.frame_spill = Some(path.into());
+        self
+    }
+
+    /// Records the NoC injection trace to a JSONL file at `path`.
+    pub fn noc_trace(&mut self, path: impl Into<String>) -> &mut Self {
+        self.cfg.noc_trace = Some(path.into());
+        self
+    }
+
+    /// Replaces the synthetic-traffic parameters.
+    pub fn traffic(&mut self, traffic: TrafficParams) -> &mut Self {
+        self.cfg.traffic = traffic;
         self
     }
 
@@ -806,6 +832,36 @@ mod tests {
         let back: SystemConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back.frame_budget, Some(512));
         assert_eq!(back.frame_spill.as_deref(), Some("target/frames.jsonl"));
+    }
+
+    #[test]
+    fn traffic_and_trace_knobs_default_and_round_trip() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.noc_trace, None);
+        assert_eq!(cfg.traffic, crate::TrafficParams::default());
+        let traffic = crate::TrafficParams {
+            pattern: crate::TrafficPattern::Transpose,
+            rate: 0.25,
+            ..crate::TrafficParams::default()
+        };
+        let cfg = SystemConfig::builder()
+            .traffic(traffic.clone())
+            .noc_trace("target/noc.trace.jsonl")
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.traffic, traffic);
+        assert_eq!(back.noc_trace.as_deref(), Some("target/noc.trace.jsonl"));
+        // invalid traffic parameters fail whole-config validation
+        let mut bad = SystemConfig::default();
+        bad.traffic.rate = 7.0;
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            ConfigError::Traffic {
+                why: "rate must be a finite value in [0, 1]"
+            }
+        );
     }
 
     #[test]

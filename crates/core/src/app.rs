@@ -53,6 +53,31 @@ pub struct SoftwareConfig {
     pub priority_tasks: Vec<u8>,
 }
 
+/// A pre-scheduled NoC injection: a packet the engine injects for a tile
+/// at a fixed NoC cycle, bypassing the PU/channel-queue path entirely.
+///
+/// This is the workload-generation primitive behind synthetic traffic and
+/// trace replay (the `muchisim-traffic` crate): the injection schedule is
+/// *data* computed before the run, so the tile's PU stays free to drain
+/// deliveries at full speed and injection timing is exact. When the tile's
+/// inject queue is full at the scheduled cycle the send waits at the head
+/// of its tile's schedule and retries — source queueing delay that the
+/// latency statistics deliberately include (the packet's `born` stamp is
+/// the *scheduled* cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledSend {
+    /// NoC cycle at which to inject (absolute, from the start of the run).
+    pub cycle: u64,
+    /// Destination tile.
+    pub dst: u32,
+    /// Destination task type (also selects the NoC plane).
+    pub task: u8,
+    /// Payload words.
+    pub payload: Payload,
+    /// Optional in-network reduction.
+    pub reduce: Option<ReduceOp>,
+}
+
 /// An outgoing message recorded by a task.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutMsg {
@@ -249,6 +274,19 @@ pub trait Application: Sync + Send {
 
     /// Builds the initial per-tile state.
     fn make_tile(&self, tile: u32, grid: &GridInfo) -> Self::Tile;
+
+    /// Pre-scheduled NoC injections for `tile`, in non-decreasing cycle
+    /// order (consumed front to back during kernel 0).
+    ///
+    /// The default — no scheduled sends — costs ordinary applications
+    /// nothing. Implementations drive the network directly on a fixed
+    /// timetable: synthetic traffic patterns and recorded-trace replay.
+    /// Scheduled packets still occupy inject queues, arbitrate, back-
+    /// pressure, and eject into input queues that dispatch
+    /// [`Application::handle`] like any other message.
+    fn scheduled_sends(&self, _tile: u32, _grid: &GridInfo) -> Vec<ScheduledSend> {
+        Vec::new()
+    }
 
     /// The init task, run once per tile at the start of each kernel.
     fn init(&self, state: &mut Self::Tile, ctx: &mut TaskCtx<'_>);

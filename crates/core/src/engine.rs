@@ -1,6 +1,6 @@
 //! Simulation setup and the sequential driver.
 
-use crate::app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
+use crate::app::{Application, GridInfo, OutMsg, ScheduledSend, SoftwareConfig, TaskCtx};
 use crate::counters::SimCounters;
 use crate::error::SimError;
 use crate::frames::{Frame, FrameLog, FrameSink, FrameSpill};
@@ -174,7 +174,11 @@ pub(crate) struct Worker<A: Application> {
     verbosity: Verbosity,
     frame_interval: u64,
     pointer_prefetch: bool,
-    /// Pending work: IQ + CQ messages + pending init tasks.
+    /// Per-tile pre-scheduled NoC injections (front = next due), consumed
+    /// during kernel 0. Empty for ordinary applications.
+    scripted: Vec<std::collections::VecDeque<ScheduledSend>>,
+    /// Pending work: IQ + CQ messages + pending init tasks + scripted
+    /// sends not yet injected.
     pub msg_count: i64,
     /// Running min of this cycle's tile-layer horizons (next PU dispatch,
     /// next CQ-head maturity, fresh deliveries), folded incrementally by
@@ -237,6 +241,13 @@ impl<A: Application> Worker<A> {
             &cfg.memory,
             MemoryConfig::Dram(d) if d.prefetch.pointer_indirection
         );
+        let mut scripted: Vec<std::collections::VecDeque<ScheduledSend>> = slice
+            .iter_tiles()
+            .map(|t| app.scheduled_sends(t, &grid).into())
+            .collect();
+        if scripted.iter().all(std::collections::VecDeque::is_empty) {
+            scripted = Vec::new();
+        }
         Worker {
             slice,
             tiles,
@@ -252,6 +263,7 @@ impl<A: Application> Worker<A> {
             verbosity: cfg.verbosity,
             frame_interval: cfg.frame_interval_cycles.max(1),
             pointer_prefetch,
+            scripted,
             msg_count: 0,
             tile_horizon: u64::MAX,
             max_pu_fs: 0,
@@ -282,6 +294,11 @@ impl<A: Application> Worker<A> {
             t.init_pending = true;
         }
         self.msg_count += self.tiles.len() as i64;
+        if kernel == 0 {
+            // scripted sends count as pending work until injected, so the
+            // quiescence decision cannot fire while a timetable is open
+            self.msg_count += self.scripted.iter().map(|q| q.len() as i64).sum::<i64>();
+        }
     }
 
     /// Dispatches ready tasks on every PU whose clock has been caught up
@@ -441,6 +458,57 @@ impl<A: Application> Worker<A> {
                             self.tile_horizon = self.tile_horizon.min(cycle + 1);
                             break;
                         }
+                    }
+                }
+            }
+        }
+        if !self.scripted.is_empty() {
+            self.scripted_inject_phase(shards, shareds, cycle);
+        }
+    }
+
+    /// Drains due pre-scheduled sends into the NoC planes (after the
+    /// channel queues, so apps mixing both keep CQ traffic first within a
+    /// cycle).
+    fn scripted_inject_phase(
+        &mut self,
+        shards: &mut [&mut Shard],
+        shareds: &[&SharedNet],
+        cycle: u64,
+    ) {
+        for local in 0..self.scripted.len() {
+            let tile_g = self.slice.global(local);
+            while let Some(head) = self.scripted[local].front() {
+                if head.cycle > cycle {
+                    // not due yet: the schedule is sorted, so this head is
+                    // this tile's next injection event
+                    self.tile_horizon = self.tile_horizon.min(head.cycle);
+                    break;
+                }
+                let plane = head.task as usize % self.planes;
+                let flits = 1 + head.payload.size_bytes().div_ceil(self.flit_bytes);
+                let mut pkt = Packet::unicast(
+                    tile_g,
+                    head.dst,
+                    head.task,
+                    head.payload.clone(),
+                    flits as u16,
+                )
+                .ready_at(cycle)
+                .born(head.cycle);
+                if let Some(op) = head.reduce {
+                    pkt = pkt.with_reduce(op);
+                }
+                match shards[plane].inject(shareds[plane], tile_g, pkt) {
+                    Ok(()) => {
+                        self.scripted[local].pop_front();
+                        self.msg_count -= 1;
+                        self.frame_injected += 1;
+                    }
+                    Err(_) => {
+                        // inject queue full: the head retries next cycle
+                        self.tile_horizon = self.tile_horizon.min(cycle + 1);
+                        break;
                     }
                 }
             }
@@ -607,6 +675,16 @@ impl<A: Application> Worker<A> {
             + self.frames.heap_bytes()
             + self.busy_grid.capacity() as u64 * 4
             + self.sends.capacity() as u64 * std::mem::size_of::<OutMsg>() as u64
+            + self.scripted.capacity() as u64
+                * std::mem::size_of::<std::collections::VecDeque<ScheduledSend>>() as u64
+            + self
+                .scripted
+                .iter()
+                .map(|q| {
+                    q.capacity() as u64 * std::mem::size_of::<ScheduledSend>() as u64
+                        + q.iter().map(|s| s.payload.heap_bytes()).sum::<u64>()
+                })
+                .sum::<u64>()
     }
 }
 
@@ -687,8 +765,10 @@ pub(crate) fn finish<A: Application>(
     for w in &workers {
         w.merge_counters(&mut counters);
     }
+    let mut noc_latency = muchisim_noc::LatencyStats::default();
     for n in &networks {
         counters.noc.merge(&n.counters());
+        noc_latency.merge(&n.latency());
     }
     // footprint telemetry, measured before the tile states are drained
     let host_state_bytes = workers.iter().map(|w| w.state_bytes(app)).sum::<u64>()
@@ -728,6 +808,7 @@ pub(crate) fn finish<A: Application>(
         runtime,
         counters,
         frames,
+        noc_latency,
         host_seconds: host_started.elapsed().as_secs_f64(),
         host_threads: threads,
         total_tiles: total as u64,

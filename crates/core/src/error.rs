@@ -33,6 +33,11 @@ pub enum SimError {
         /// Description of the I/O failure.
         String,
     ),
+    /// The NoC trace file could not be created or written.
+    Trace(
+        /// Description of the I/O failure.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +61,7 @@ impl fmt::Display for SimError {
             }
             SimError::CheckFailed(why) => write!(f, "result check failed: {why}"),
             SimError::FrameSpill(why) => write!(f, "frame spill failed: {why}"),
+            SimError::Trace(why) => write!(f, "NoC trace failed: {why}"),
         }
     }
 }

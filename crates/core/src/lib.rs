@@ -79,11 +79,11 @@ mod sched;
 mod slice;
 mod tile;
 
-pub use app::{Application, GridInfo, OutMsg, SoftwareConfig, TaskCtx};
+pub use app::{Application, GridInfo, OutMsg, ScheduledSend, SoftwareConfig, TaskCtx};
 pub use counters::{PuCounters, SimCounters};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use frames::{read_spill_jsonl, Frame, FrameLog, FrameSink, FrameSpill};
 pub use horizon::EventHorizon;
-pub use muchisim_noc::ReduceOp;
+pub use muchisim_noc::{LatencyStats, Payload, ReduceOp};
 pub use tile::SimResult;

@@ -201,6 +201,15 @@ pub(crate) fn drive<A: Application>(
     if sync.limit_hit.load(Ordering::Acquire) {
         return Err(SimError::CycleLimitExceeded { limit: cycle_limit });
     }
+    if let Some(path) = &cfg.noc_trace {
+        // one merged, canonically sorted trace across planes and shards;
+        // a tile's same-cycle packets keep their channel-queue order
+        let mut events: Vec<muchisim_noc::TraceEvent> = Vec::new();
+        for net in networks.iter_mut() {
+            events.extend(net.take_trace());
+        }
+        muchisim_noc::write_trace_jsonl(path, &mut events).map_err(SimError::Trace)?;
+    }
     Ok(finish(
         cfg,
         app,

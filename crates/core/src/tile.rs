@@ -145,6 +145,10 @@ pub struct SimResult {
     pub counters: SimCounters,
     /// Statistics frames.
     pub frames: FrameLog,
+    /// Per-packet NoC latency statistics (injection→ejection; for
+    /// scheduled synthetic traffic, generation→ejection — source
+    /// queueing included, the latency-versus-load measurement).
+    pub noc_latency: muchisim_noc::LatencyStats,
     /// Host wall-clock seconds spent simulating.
     pub host_seconds: f64,
     /// Host threads used.
@@ -290,6 +294,7 @@ mod tests {
             runtime: TimePs::us(1.0),
             counters: SimCounters::default(),
             frames: FrameLog::new(100),
+            noc_latency: muchisim_noc::LatencyStats::default(),
             host_seconds: 0.01,
             host_threads: 1,
             total_tiles: 16,

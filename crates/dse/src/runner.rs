@@ -89,6 +89,15 @@ impl BatchRunner {
                 point.run_id
             )));
         }
+        // same single-writer hazard as frame_spill: every point would
+        // truncate and rewrite the one trace path
+        if let Some(point) = points.iter().find(|p| p.config.noc_trace.is_some()) {
+            return Err(DseError::Spec(format!(
+                "point `{}` sets noc_trace, which is unsupported in sweeps \
+                 (concurrent points would clobber one file); record via `muchisim run --trace`",
+                point.run_id
+            )));
+        }
         let done = store.completed_ids();
         let pending: Vec<&RunPoint> = points
             .iter()
@@ -256,6 +265,80 @@ mod tests {
             "unexpected error: {err}"
         );
         assert!(store.records().is_empty(), "nothing may have run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn noc_trace_points_are_rejected() {
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "trace_reject",
+                "base": ["hierarchy.chiplet.x=2", "hierarchy.chiplet.y=2",
+                         "noc_trace=\"/tmp/shared.trace.jsonl\""],
+                "apps": ["bfs"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace_reject.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
+        assert!(
+            err.to_string().contains("noc_trace"),
+            "unexpected error: {err}"
+        );
+        assert!(store.records().is_empty(), "nothing may have run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn traffic_rate_axis_sweeps_through_the_batch_runner() {
+        // the tentpole promise: synthetic traffic is a first-class sweep
+        // subject — pattern via the app axis, rate via string overrides
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "traffic_axis",
+                "base": ["hierarchy.chiplet.x=4", "hierarchy.chiplet.y=4",
+                         "traffic.cycles=200"],
+                "axes": [{"name": "load", "points": [
+                    {"label": "r0.02", "set": ["traffic.rate=0.02"]},
+                    {"label": "r0.10", "set": ["traffic.rate=0.10"]}
+                ]}],
+                "apps": ["traf-uniform", "traf-transpose"],
+                "datasets": [{"rmat": {"scale": 4, "seed": 1}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-traf-{}", std::process::id()));
+        let path = dir.join("traffic_axis.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let outcome = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap();
+        assert_eq!(outcome.executed, 4);
+        assert_eq!(outcome.check_failures, 0);
+        let low: u64 = store
+            .records()
+            .iter()
+            .filter(|r| r.config_label == "r0.02")
+            .map(|r| r.result.counters.noc.injected)
+            .sum();
+        let high: u64 = store
+            .records()
+            .iter()
+            .filter(|r| r.config_label == "r0.10")
+            .map(|r| r.result.counters.noc.injected)
+            .sum();
+        assert!(
+            high > 2 * low,
+            "5x the rate must inject well over 2x the packets ({low} vs {high})"
+        );
+        assert!(store
+            .records()
+            .iter()
+            .all(|r| r.result.noc_latency.count == r.result.counters.noc.ejected));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -174,6 +174,7 @@ pub(crate) mod tests {
                 runtime: TimePs::ps(1.0),
                 counters: SimCounters::default(),
                 frames: FrameLog::default(),
+                noc_latency: muchisim_core::LatencyStats::default(),
                 host_seconds: 0.0,
                 host_threads: 1,
                 total_tiles: 1,

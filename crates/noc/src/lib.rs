@@ -53,6 +53,7 @@
 #![warn(missing_debug_implementations)]
 
 mod counters;
+mod latency;
 mod network;
 mod packet;
 mod port;
@@ -60,11 +61,14 @@ mod route;
 mod router;
 mod shard;
 mod topo;
+mod trace;
 
 pub use counters::NocCounters;
+pub use latency::LatencyStats;
 pub use network::{split_columns, DrainSink, EjectSink, Network, NetworkParams, SharedNet};
 pub use packet::{Packet, Payload, ReduceOp};
 pub use port::{InPort, OutDir};
 pub use route::{decide, RouteDecision};
 pub use shard::Shard;
 pub use topo::TopoInfo;
+pub use trace::{read_trace_jsonl, sort_events, write_trace_jsonl, TraceEvent};

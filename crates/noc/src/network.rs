@@ -74,6 +74,9 @@ pub struct NetworkParams {
     /// frames. Off by default below verbosity V2: the per-router grid is
     /// pure overhead when no frame will ever read it.
     pub track_busy: bool,
+    /// Whether shards record every injection as a [`crate::TraceEvent`]
+    /// (driven by `SystemConfig::noc_trace`).
+    pub record_trace: bool,
 }
 
 impl NetworkParams {
@@ -84,6 +87,7 @@ impl NetworkParams {
             // the inject queue models the channel-queue drain port
             inject_capacity_flits: cfg.queues.cq_capacity * 2,
             track_busy: cfg.verbosity >= muchisim_config::Verbosity::V2,
+            record_trace: cfg.noc_trace.is_some(),
         }
     }
 
@@ -92,6 +96,12 @@ impl NetworkParams {
     /// full system configuration).
     pub fn track_busy(mut self, enabled: bool) -> Self {
         self.track_busy = enabled;
+        self
+    }
+
+    /// Enables or disables injection-trace recording explicitly.
+    pub fn record_trace(mut self, enabled: bool) -> Self {
+        self.record_trace = enabled;
         self
     }
 }
@@ -237,7 +247,13 @@ impl Network {
             for c in start..end {
                 shard_of_col[c as usize] = i as u32;
             }
-            shards.push(Shard::new(i, start..end, topo.height, params.track_busy));
+            shards.push(Shard::new(
+                i,
+                start..end,
+                topo.height,
+                params.track_busy,
+                params.record_trace,
+            ));
             start = end;
         }
         let occupancy = (0..topo.num_queues()).map(|_| AtomicU32::new(0)).collect();
@@ -337,6 +353,25 @@ impl Network {
             total.merge(s.counters());
         }
         total
+    }
+
+    /// Merged per-packet latency statistics across shards.
+    pub fn latency(&self) -> crate::LatencyStats {
+        let mut total = crate::LatencyStats::default();
+        for s in &self.shards {
+            total.merge(s.latency());
+        }
+        total
+    }
+
+    /// Drains the recorded injection trace of every shard (unsorted;
+    /// see [`crate::sort_events`]). Empty when recording is off.
+    pub fn take_trace(&mut self) -> Vec<crate::TraceEvent> {
+        let mut events = Vec::new();
+        for s in &mut self.shards {
+            events.extend(s.take_trace());
+        }
+        events
     }
 
     /// Collects and resets per-router busy-cycle counts into `grid`
@@ -677,6 +712,39 @@ mod tests {
         }
         assert_eq!(sink.accepted, 1);
         assert!(n.counters().eject_stalls >= 4);
+    }
+
+    #[test]
+    fn latency_and_trace_recorded_across_shards() {
+        let cfg = SystemConfig::builder().chiplet_tiles(4, 1).build().unwrap();
+        let params = NetworkParams::from_system(&cfg).record_trace(true);
+        assert!(
+            !NetworkParams::from_system(&cfg).record_trace,
+            "off by default"
+        );
+        let mut n = Network::new(params, 2);
+        n.inject(
+            0,
+            Packet::unicast(0, 3, 0, Payload::from_slice(&[5]), 1).ready_at(0),
+        )
+        .unwrap();
+        n.inject(
+            3,
+            Packet::unicast(3, 0, 0, Payload::from_slice(&[6]), 1).ready_at(0),
+        )
+        .unwrap();
+        let mut sink = DrainSink::default();
+        run_to_empty(&mut n, &mut sink, 100);
+        let lat = n.latency();
+        assert_eq!(lat.count, 2, "one latency sample per ejected packet");
+        assert!(lat.mean() >= 3.0, "3 hops minimum, measured {}", lat.mean());
+        assert!(lat.max_cycles >= 3);
+        let mut trace = n.take_trace();
+        crate::trace::sort_events(&mut trace);
+        assert_eq!(trace.len(), 2);
+        assert_eq!((trace[0].src, trace[0].dst), (0, 3));
+        assert_eq!((trace[1].src, trace[1].dst), (3, 0));
+        assert!(n.take_trace().is_empty(), "trace drains once");
     }
 
     #[test]

@@ -169,6 +169,12 @@ pub struct Packet {
     pub flits: u16,
     /// Earliest NoC cycle this packet may be routed.
     pub ready_at: u64,
+    /// NoC cycle at which the packet was *generated* (scheduled by a
+    /// traffic source, or handed to the injection point by a channel
+    /// queue). Ejection records `eject_cycle − born` into the latency
+    /// statistics, so for scheduled traffic the measured latency includes
+    /// source-queueing time — the quantity that diverges at saturation.
+    pub born: u64,
     /// Optional in-network reduction operator.
     pub reduce: Option<ReduceOp>,
     /// Payload words.
@@ -185,6 +191,7 @@ impl Packet {
             vc: 0,
             flits: flits.max(1),
             ready_at: 0,
+            born: 0,
             reduce: None,
             payload,
         }
@@ -197,8 +204,20 @@ impl Packet {
     }
 
     /// Sets the earliest-routing timestamp (consuming builder step).
+    ///
+    /// Also sets `born` to `cycle`, so injectors that don't distinguish
+    /// generation from injection get injection-to-ejection latency
+    /// accounting for free; apply [`Packet::born`] *afterwards* when the
+    /// two differ.
     pub fn ready_at(mut self, cycle: u64) -> Self {
         self.ready_at = cycle;
+        self.born = cycle;
+        self
+    }
+
+    /// Sets the generation timestamp (consuming builder step).
+    pub fn born(mut self, cycle: u64) -> Self {
+        self.born = cycle;
         self
     }
 
@@ -319,5 +338,16 @@ mod tests {
     fn flits_clamped_to_one() {
         let p = Packet::unicast(0, 1, 0, Payload::empty(), 0);
         assert_eq!(p.flits, 1);
+    }
+
+    #[test]
+    fn ready_at_sets_born_unless_overridden() {
+        let p = Packet::unicast(0, 1, 0, Payload::empty(), 1).ready_at(9);
+        assert_eq!(p.born, 9);
+        let p = Packet::unicast(0, 1, 0, Payload::empty(), 1)
+            .ready_at(9)
+            .born(4);
+        assert_eq!(p.ready_at, 9);
+        assert_eq!(p.born, 4);
     }
 }

@@ -19,11 +19,13 @@
 //! indistinguishable to the cycle loop).
 
 use crate::counters::{class_index, NocCounters};
+use crate::latency::LatencyStats;
 use crate::network::{EjectSink, SharedNet};
 use crate::packet::Packet;
 use crate::port::{InPort, OutDir, IN_PORTS};
 use crate::route;
 use crate::router::RouterState;
+use crate::trace::TraceEvent;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -55,6 +57,11 @@ pub struct Shard {
     /// Per-router state, `None` until the router first sees a packet.
     routers: Vec<Option<Box<RouterState>>>,
     counters: NocCounters,
+    /// Injection-to-ejection latency of every packet delivered by this
+    /// shard (generation-to-ejection for scheduled traffic).
+    latency: LatencyStats,
+    /// Injection trace, recorded when `SystemConfig::noc_trace` is set.
+    trace: Option<Vec<TraceEvent>>,
     /// Per-router busy cycles of the current statistics frame; empty when
     /// heat-map tracking is disabled (verbosity < V2).
     busy_frame: Vec<u32>,
@@ -67,13 +74,21 @@ pub struct Shard {
 }
 
 impl Shard {
-    pub(crate) fn new(idx: usize, cols: Range<u32>, height: u32, track_busy: bool) -> Self {
+    pub(crate) fn new(
+        idx: usize,
+        cols: Range<u32>,
+        height: u32,
+        track_busy: bool,
+        record_trace: bool,
+    ) -> Self {
         let n = (cols.end - cols.start) as usize * height as usize;
         Shard {
             idx,
             cols,
             routers: (0..n).map(|_| None).collect(),
             counters: NocCounters::default(),
+            latency: LatencyStats::default(),
+            trace: if record_trace { Some(Vec::new()) } else { None },
             busy_frame: if track_busy { vec![0; n] } else { Vec::new() },
             pending_pushes: Vec::new(),
             pending_frees: Vec::new(),
@@ -93,6 +108,16 @@ impl Shard {
     /// Cumulative counters of this shard.
     pub fn counters(&self) -> &NocCounters {
         &self.counters
+    }
+
+    /// Latency statistics of packets this shard delivered.
+    pub fn latency(&self) -> &LatencyStats {
+        &self.latency
+    }
+
+    /// Drains the recorded injection trace (empty when recording is off).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// Routers whose state has been materialized (saw at least one
@@ -187,6 +212,9 @@ impl Shard {
         ) {
             return Err(pkt);
         }
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::from_packet(&pkt));
+        }
         let local = self.local_idx(tile, width);
         let freed = router_mut(&mut self.routers, local).push(InPort::Inject.index(), pkt);
         if freed > 0 {
@@ -247,6 +275,8 @@ impl Shard {
             cols,
             routers,
             counters,
+            latency,
+            trace: _,
             busy_frame,
             pending_pushes,
             pending_frees,
@@ -303,12 +333,14 @@ impl Shard {
                 if out == OutDir::Eject {
                     let pkt = router.pop(pick);
                     let flits = pkt.flits;
+                    let born = pkt.born;
                     match sink.offer(tile, pkt) {
                         Ok(()) => {
                             pending_frees
                                 .push((topo.queue_id(tile, InPort::ALL[pick]), flits as u32));
                             router.busy_until[oi] = cycle + flits as u64;
                             counters.ejected += 1;
+                            latency.record(cycle.saturating_sub(born));
                             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
                             moved = true;
                         }
@@ -404,7 +436,14 @@ impl Shard {
                 .flatten()
                 .map(|r| std::mem::size_of::<RouterState>() as u64 + r.heap_bytes())
                 .sum::<u64>();
+        let trace = self.trace.as_ref().map_or(0, |t| {
+            t.capacity() as u64 * std::mem::size_of::<TraceEvent>() as u64
+                + t.iter()
+                    .map(|e| e.payload.capacity() as u64 * 4)
+                    .sum::<u64>()
+        });
         routers
+            + trace
             + self.busy_frame.capacity() as u64 * 4
             + self.pending_pushes.capacity() as u64
                 * std::mem::size_of::<(usize, usize, Packet)>() as u64
@@ -455,11 +494,13 @@ mod tests {
 
     #[test]
     fn fresh_shard_allocates_no_routers() {
-        let shard = Shard::new(0, 0..8, 8, false);
+        let mut shard = Shard::new(0, 0..8, 8, false, false);
         assert_eq!(shard.allocated_routers(), 0);
         assert!(shard.is_drained());
         assert_eq!(shard.queued_packets(), 0);
         assert_eq!(shard.next_event_cycle(0), None);
         assert!(shard.busy_frame.is_empty(), "untracked shard has no grid");
+        assert_eq!(shard.latency().count, 0);
+        assert!(shard.take_trace().is_empty(), "tracing is off by default");
     }
 }

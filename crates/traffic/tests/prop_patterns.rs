@@ -1,0 +1,131 @@
+//! Property-based tests on the traffic pattern generators: destinations
+//! stay in-bounds on arbitrary grids, the permutation patterns really
+//! are bijections, and the hotspot pattern honors its skew fraction.
+
+use muchisim_config::{TrafficParams, TrafficPattern};
+use muchisim_traffic::{tile_schedule, tile_seed, PatternMap};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn params(seed: u64) -> TrafficParams {
+    TrafficParams {
+        seed,
+        ..TrafficParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every pattern keeps every destination inside the grid, from every
+    /// source, deterministic and randomized alike.
+    #[test]
+    fn prop_destinations_in_bounds(
+        w in 1u32..17,
+        h in 1u32..17,
+        seed in any::<u64>(),
+    ) {
+        let p = params(seed);
+        let total = w * h;
+        for pattern in TrafficPattern::ALL {
+            let map = PatternMap::new(pattern, w, h, &p);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for src in 0..total {
+                for _ in 0..4 {
+                    let d = map.dest(src, &mut rng);
+                    prop_assert!(d < total, "{pattern:?}: {src} -> {d} on {w}x{h}");
+                }
+                if let Some(d) = map.fixed_dest(src) {
+                    prop_assert!(d < total);
+                }
+            }
+        }
+    }
+
+    /// Transpose, shuffle and bit-complement are bijections on any grid:
+    /// every tile receives from exactly one sender.
+    #[test]
+    fn prop_permutation_patterns_are_bijections(
+        w in 1u32..23,
+        h in 1u32..23,
+        seed in any::<u64>(),
+    ) {
+        let p = params(seed);
+        let total = w * h;
+        for pattern in [
+            TrafficPattern::Transpose,
+            TrafficPattern::Shuffle,
+            TrafficPattern::BitComplement,
+            TrafficPattern::NearestNeighbor,
+        ] {
+            let map = PatternMap::new(pattern, w, h, &p);
+            let mut hit = vec![false; total as usize];
+            for src in 0..total {
+                let d = map.fixed_dest(src)
+                    .expect("permutation patterns are deterministic");
+                prop_assert!(d < total, "{pattern:?}: {src} -> {d}");
+                prop_assert!(
+                    !hit[d as usize],
+                    "{pattern:?} on {w}x{h}: destination {d} hit twice"
+                );
+                hit[d as usize] = true;
+            }
+            prop_assert!(hit.iter().all(|&b| b), "{pattern:?}: not surjective");
+        }
+    }
+
+    /// The hotspot pattern routes its configured fraction (±5 points,
+    /// plus the uniform tail's accidental hits) into the hotspot set.
+    #[test]
+    fn prop_hotspot_honors_skew_fraction(
+        w in 3u32..10,
+        h in 3u32..10,
+        seed in any::<u64>(),
+        frac_pct in 20u32..95,
+        targets in 1u32..5,
+    ) {
+        let mut p = params(seed);
+        p.hotspot_fraction = frac_pct as f64 / 100.0;
+        p.hotspot_targets = targets;
+        p.rate = 0.5;
+        p.cycles = 3_000;
+        let map = PatternMap::new(TrafficPattern::Hotspot, w, h, &p);
+        let total = w * h;
+        prop_assert_eq!(map.hotspots().len(), targets.min(total) as usize);
+        // measure through the real schedule generator, over a few tiles
+        let mut sent = 0u64;
+        let mut hot = 0u64;
+        for tile in 0..total.min(4) {
+            for s in tile_schedule(&map, &p, tile) {
+                sent += 1;
+                if map.hotspots().contains(&s.dst) {
+                    hot += 1;
+                }
+            }
+        }
+        prop_assert!(sent > 1_000, "enough samples to measure: {sent}");
+        let measured = hot as f64 / sent as f64;
+        // uniform tail adds ~targets/total of the remaining fraction
+        let tail = (1.0 - p.hotspot_fraction)
+            * (map.hotspots().len() as f64 / total as f64);
+        let want = p.hotspot_fraction + tail;
+        prop_assert!(
+            (measured - want).abs() < 0.05,
+            "hotspot skew {measured:.3}, configured {want:.3} ({w}x{h}, {targets} targets)"
+        );
+    }
+
+    /// Per-tile RNG streams are independent yet reproducible.
+    #[test]
+    fn prop_tile_seeds_reproducible_and_distinct(
+        seed in any::<u64>(),
+        a in 0u32..4096,
+        b in 0u32..4096,
+    ) {
+        prop_assert_eq!(tile_seed(seed, a), tile_seed(seed, a));
+        if a != b {
+            prop_assert_ne!(tile_seed(seed, a), tile_seed(seed, b));
+        }
+    }
+}

@@ -137,4 +137,19 @@ mod tests {
     fn wrong_grid_size_panics() {
         Heatmap::new(2, 2).ascii(&[0; 3], 1);
     }
+
+    #[test]
+    fn degenerate_grids_and_max_values_render_cleanly() {
+        // zero max (an all-idle frame out of a tiny merged log) must not
+        // divide by zero; everything lands on the cold end of the ramp
+        let h = Heatmap::new(2, 1);
+        let art = h.ascii(&[0, 0], 0);
+        assert_eq!(art, "  \n");
+        let img = h.ppm(&[0, 0], 0);
+        assert_eq!(&img[img.len() - 3..], &[32, 32, 96]);
+        // zero-sized grids produce empty-but-valid artifacts
+        let empty = Heatmap::new(0, 0);
+        assert_eq!(empty.ascii(&[], 1), "");
+        assert!(empty.ppm(&[], 1).starts_with(b"P6\n0 0\n255\n"));
+    }
 }

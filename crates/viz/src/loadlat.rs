@@ -1,0 +1,127 @@
+//! Latency-versus-offered-load reporting (the saturation figure of NoC
+//! characterization studies).
+//!
+//! Deliberately decoupled from the traffic generator: a row is plain
+//! numbers, so any producer (saturation sweeps, DSE stores, hand-made
+//! comparisons) can render the same table. Latency columns follow the
+//! NoC's [`muchisim_core::SimResult::noc_latency`] statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// One offered-load measurement row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadLatencyRow {
+    /// Series label (e.g. `"mesh"`, `"torus/uniform"`).
+    pub series: String,
+    /// Offered load in packets/tile/cycle.
+    pub offered: f64,
+    /// Accepted throughput in packets/tile/cycle.
+    pub achieved: f64,
+    /// Mean packet latency in cycles.
+    pub avg_latency: f64,
+    /// Median latency.
+    pub p50_latency: u64,
+    /// 95th-percentile latency.
+    pub p95_latency: u64,
+    /// 99th-percentile latency.
+    pub p99_latency: u64,
+    /// Maximum latency.
+    pub max_latency: u64,
+}
+
+/// A latency-versus-load table, one row per (series, offered rate).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LoadLatencyTable {
+    /// Rows in presentation order.
+    pub rows: Vec<LoadLatencyRow>,
+}
+
+impl LoadLatencyTable {
+    /// Appends a row.
+    pub fn push(&mut self, row: LoadLatencyRow) {
+        self.rows.push(row);
+    }
+
+    /// Serializes to CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "series,offered,achieved,avg_latency,p50_latency,p95_latency,p99_latency,max_latency\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{:.4},{:.4},{:.2},{},{},{},{}\n",
+                r.series,
+                r.offered,
+                r.achieved,
+                r.avg_latency,
+                r.p50_latency,
+                r.p95_latency,
+                r.p99_latency,
+                r.max_latency
+            ));
+        }
+        out
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>9} {:>9} {:>6} {:>6} {:>6} {:>7}\n",
+            "series", "offered", "achieved", "avg lat", "p50", "p95", "p99", "max"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<16} {:>8.4} {:>9.4} {:>9.2} {:>6} {:>6} {:>6} {:>7}\n",
+                r.series,
+                r.offered,
+                r.achieved,
+                r.avg_latency,
+                r.p50_latency,
+                r.p95_latency,
+                r.p99_latency,
+                r.max_latency
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(series: &str, offered: f64, lat: f64) -> LoadLatencyRow {
+        LoadLatencyRow {
+            series: series.to_string(),
+            offered,
+            achieved: offered * 0.9,
+            avg_latency: lat,
+            p50_latency: lat as u64,
+            p95_latency: lat as u64 * 2,
+            p99_latency: lat as u64 * 3,
+            max_latency: lat as u64 * 4,
+        }
+    }
+
+    #[test]
+    fn csv_and_text_agree_on_rows() {
+        let mut t = LoadLatencyTable::default();
+        t.push(row("mesh", 0.02, 8.5));
+        t.push(row("mesh", 0.3, 210.0));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("series,offered"));
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("mesh,0.3000,0.2700,210.00,210,420,630,840"));
+        let text = t.to_text();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.lines().next().unwrap().contains("avg lat"));
+    }
+
+    #[test]
+    fn empty_table_renders_headers_only() {
+        let t = LoadLatencyTable::default();
+        assert_eq!(t.to_csv().lines().count(), 1);
+        assert_eq!(t.to_text().lines().count(), 1);
+    }
+}

@@ -30,7 +30,17 @@ pub struct FrameStats {
 
 impl FrameStats {
     fn from_grid(index: u64, start_cycle: u64, grid: &mut [u32]) -> Self {
-        let n = grid.len().max(1) as f64;
+        if grid.is_empty() {
+            // zero-tile grids (degenerate configs, empty logs re-summarized
+            // downstream) must yield a well-defined all-zero row, not an
+            // index underflow in the quartile lookup
+            return FrameStats {
+                index,
+                start_cycle,
+                ..FrameStats::default()
+            };
+        }
+        let n = grid.len() as f64;
         let mean = grid.iter().map(|&v| v as f64).sum::<f64>() / n;
         let var = grid.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n;
         grid.sort_unstable();
@@ -105,6 +115,10 @@ impl TimeSeries {
 
     /// The tail-imbalance signal the paper highlights: frames where the
     /// max is far above the median indicate a long execution tail.
+    ///
+    /// Well-defined on degenerate inputs: an empty series (verbosity V0,
+    /// or a `frame_budget` so tight the run merged into nothing) and
+    /// all-zero frames both report 0 — never NaN, never a panic.
     pub fn tail_imbalance(&self) -> f64 {
         self.rows
             .iter()
@@ -154,6 +168,54 @@ mod tests {
         let csv = ts.to_csv();
         assert!(csv.starts_with("frame,start_cycle,mean"));
         assert_eq!(csv.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_log_yields_empty_series_and_zero_imbalance() {
+        // frame_budget merging (or verbosity V0) can leave a very short —
+        // or empty — FrameLog; every summary must stay well-defined
+        let ts = TimeSeries::from_frames(&log_with(Vec::new()), Counter::PuBusy, 16);
+        assert!(ts.rows.is_empty());
+        assert_eq!(ts.tail_imbalance(), 0.0);
+        assert_eq!(ts.to_csv().lines().count(), 1, "header only");
+    }
+
+    #[test]
+    fn zero_tile_grid_is_all_zero_not_a_panic() {
+        let f = Frame::default();
+        let ts = TimeSeries::from_frames(&log_with(vec![f]), Counter::IqOccupancy, 0);
+        let r = ts.rows[0];
+        assert_eq!((r.min, r.max, r.q1, r.median, r.q3), (0, 0, 0, 0, 0));
+        assert_eq!(r.mean, 0.0);
+        assert!(r.stddev == 0.0, "no NaN on empty grids");
+        assert_eq!(ts.tail_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn single_merged_frame_summarizes_cleanly() {
+        // one surviving frame after aggressive budget merging
+        let f = Frame {
+            index: 0,
+            start_cycle: 0,
+            pu_busy: vec![(0, 3), (3, 9)],
+            ..Default::default()
+        };
+        let ts = TimeSeries::from_frames(&log_with(vec![f]), Counter::PuBusy, 4);
+        assert_eq!(ts.rows.len(), 1);
+        assert_eq!(ts.rows[0].max, 9);
+        assert!(ts.tail_imbalance().is_finite());
+        assert!(ts.tail_imbalance() > 0.0);
+    }
+
+    #[test]
+    fn all_zero_frames_report_zero_imbalance() {
+        let f = Frame {
+            index: 0,
+            pu_busy: vec![(0, 0), (1, 0)],
+            ..Default::default()
+        };
+        let ts = TimeSeries::from_frames(&log_with(vec![f]), Counter::PuBusy, 4);
+        assert_eq!(ts.tail_imbalance(), 0.0);
     }
 
     #[test]

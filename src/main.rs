@@ -1,27 +1,33 @@
 //! The `muchisim` command line.
 //!
-//! Three subcommands cover the paper's workflow end to end:
+//! Four subcommands cover the paper's workflow end to end:
 //!
 //! * `muchisim run <app> [scale [side [threads]]]` — one simulation,
-//!   report printed, counters file written for later post-processing.
+//!   report printed, counters file written for later post-processing;
+//!   `--trace FILE` additionally records the NoC injection trace.
 //! * `muchisim sweep --spec FILE` — a declarative design-space sweep
 //!   (see [`muchisim::dse`]): points run concurrently, results stream
 //!   into a resumable JSONL store, completed run IDs are skipped.
 //! * `muchisim report --store FILE` — aggregate a store into the
 //!   comparison table, optionally re-priced with `--set` overrides
 //!   (energy/cost post-processing without re-simulation).
+//! * `muchisim traffic sweep|replay` — NoC characterization: synthetic
+//!   latency-vs-load saturation sweeps and app-free replay of a
+//!   recorded communication trace (see [`muchisim::traffic`]).
 //!
 //! Argument parsing is strict: unparseable numbers and unknown flags are
 //! errors (exit code 2), never silently replaced with defaults.
 
 use muchisim::apps::{run_benchmark, Benchmark};
-use muchisim::config::SystemConfig;
+use muchisim::config::{NocTopology, SystemConfig, TrafficPattern};
 use muchisim::data::rmat::RmatConfig;
 use muchisim::dse::{
-    apply_to_config, parse_assignment, table_from_store, BatchRunner, ExperimentSpec, JsonlStore,
-    Override,
+    apply_to_config, parse_assignment, parse_json_or_string, table_from_store, BatchRunner,
+    ExperimentSpec, JsonlStore, Override,
 };
 use muchisim::energy::Report;
+use muchisim::traffic::{saturation_sweep, SaturationCurve, TraceReplayApp};
+use muchisim::viz::{LoadLatencyRow, LoadLatencyTable};
 use std::fmt::Display;
 use std::str::FromStr;
 use std::sync::Arc;
@@ -30,30 +36,46 @@ const USAGE: &str = "\
 muchisim — MuchiSim: design exploration for multi-chip manycore systems
 
 USAGE:
-    muchisim run <app> [scale [side [threads]]] [--telemetry] [--set KEY=VALUE]...
-    muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--csv]
+    muchisim run <app> [scale [side [threads]]] [--telemetry] [--seed N]
+                 [--trace FILE] [--set KEY=VALUE]...
+    muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--seed N] [--csv]
     muchisim report --store FILE [--set KEY=VALUE]... [--csv]
+    muchisim traffic sweep [--pattern P] [--rates R,R,...] [--side N]
+                 [--topo mesh|torus|ruche] [--threads N] [--seed N]
+                 [--csv] [--set KEY=VALUE]...
+    muchisim traffic replay --trace FILE [--side N] [--threads N]
+                 [--set KEY=VALUE]...
 
 SUBCOMMANDS:
     run      Run one benchmark on an RMAT graph and print its report.
-             <app> is one of the suite labels (bfs, sssp, page, wcc,
-             spmv, spmm, histo, fft); scale is the RMAT scale
-             (default 11), side the square grid side in tiles
-             (default 16), threads the host threads (default 8).
-             --telemetry additionally prints simulator throughput
-             (simulated cycles/s, packets/s) and the host memory
-             footprint (bytes/tile). Frame streaming is reachable via
-             --set frame_budget=N and --set frame_spill=PATH.
+             <app> is a suite label (bfs, sssp, page, wcc, spmv, spmm,
+             histo, fft) or a synthetic-traffic workload (traf-uniform,
+             traf-bitcomp, traf-transpose, traf-shuffle, traf-neighbor,
+             traf-hotspot); scale is the RMAT scale (default 11), side
+             the square grid side in tiles (default 16), threads the
+             host threads (default 8). --seed seeds both the dataset
+             generator and traffic.seed; --trace records every NoC
+             injection to FILE (JSONL) for later replay. --telemetry
+             additionally prints simulator throughput and the host
+             memory footprint.
     sweep    Expand a JSON experiment spec into run points, execute the
              ones missing from the store concurrently, and print the
              comparison table. Re-invoking skips completed run IDs.
+             --seed appends a traffic.seed override to the spec's base.
     report   Rebuild the comparison table from a result store without
              re-simulating; --set re-prices the stored runs under
              different model parameters.
+    traffic  NoC characterization. `traffic sweep` runs a synthetic
+             pattern (default uniform) across ascending offered loads
+             (--rates, packets/tile/cycle) on a side×side grid
+             (default 8, 4 PUs/tile) and prints the latency-vs-load
+             table plus the detected saturation rate. `traffic replay`
+             re-injects a trace recorded with `run --trace`, app-free,
+             under the configuration given by --side/--set.
 
 COMMON OPTIONS:
     --set KEY=VALUE   Configuration override (repeatable), e.g.
-                      --set sram_kib_per_tile=64 --set noc.width_bits=32
+                      --set sram_kib_per_tile=64 --set traffic.rate=0.08
     --csv             Print the table as CSV instead of aligned text.
     -h, --help        Show this help.
 ";
@@ -93,6 +115,7 @@ fn main() {
         "run" => cmd_run(args),
         "sweep" => cmd_sweep(args),
         "report" => cmd_report(args),
+        "traffic" => cmd_traffic(args),
         other => usage_error(format!("unknown subcommand `{other}`")),
     };
     std::process::exit(code);
@@ -102,11 +125,20 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut positional: Vec<String> = Vec::new();
     let mut overrides: Vec<Override> = Vec::new();
     let mut telemetry = false;
+    let mut seed: Option<u64> = None;
+    let mut trace_path: Option<String> = None;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--set" => overrides.push(parse_set(&mut args)),
             "--telemetry" => telemetry = true,
+            "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
+            "--trace" => {
+                trace_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--trace needs a FILE")),
+                )
+            }
             flag if flag.starts_with('-') => usage_error(format!("unknown flag `{flag}`")),
             _ => positional.push(arg),
         }
@@ -129,15 +161,26 @@ fn cmd_run(args: Vec<String>) -> i32 {
         .get(3)
         .map_or(8, |s| parse_num("thread count", s));
 
-    let base = SystemConfig::builder()
-        .chiplet_tiles(side, side)
-        .build()
-        .unwrap_or_else(|e| usage_error(e));
-    let cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
+    let mut builder = SystemConfig::builder();
+    builder.chiplet_tiles(side, side);
+    if let Some(path) = &trace_path {
+        builder.noc_trace(path.clone());
+    }
+    let base = builder.build().unwrap_or_else(|e| usage_error(e));
+    let mut cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
+    // --seed drives both generators so one flag makes the whole run
+    // reproducible; an explicit --set traffic.seed still wins
+    let graph_seed = seed.unwrap_or(42);
+    if let Some(s) = seed {
+        if !overrides.iter().any(|(k, _)| k == "traffic.seed") {
+            cfg.traffic.seed = s;
+        }
+    }
 
-    let graph = Arc::new(RmatConfig::scale(scale).generate(42));
+    let graph = Arc::new(RmatConfig::scale(scale).generate(graph_seed));
     println!(
-        "running {} on RMAT-{scale} over {side}x{side} tiles with {threads} host threads...",
+        "running {} on RMAT-{scale} (seed {graph_seed}) over {side}x{side} tiles \
+         with {threads} host threads...",
         app.label()
     );
     let result = match run_benchmark(app, cfg.clone(), &graph, threads) {
@@ -185,17 +228,40 @@ fn cmd_run(args: Vec<String>) -> i32 {
             return 1;
         }
     }
+    if let Some(path) = &trace_path {
+        println!(
+            "NoC trace written to {path} (replay with `muchisim traffic replay --trace {path}`)"
+        );
+    }
     i32::from(failed)
+}
+
+/// Parses the value of `flag` from the next argument, exiting 2 when it
+/// is missing or malformed.
+fn parse_flag_value<T: FromStr>(
+    args: &mut std::iter::Peekable<std::vec::IntoIter<String>>,
+    flag: &str,
+    what: &str,
+) -> T
+where
+    T::Err: Display,
+{
+    let Some(text) = args.next() else {
+        usage_error(format!("{flag} needs a value"));
+    };
+    parse_num(what, &text)
 }
 
 fn cmd_sweep(args: Vec<String>) -> i32 {
     let mut spec_path: Option<String> = None;
     let mut store_path: Option<String> = None;
     let mut host_threads: Option<usize> = None;
+    let mut seed: Option<u64> = None;
     let mut csv = false;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
             "--spec" => {
                 spec_path = Some(
                     args.next()
@@ -225,7 +291,26 @@ fn cmd_sweep(args: Vec<String>) -> i32 {
         Ok(text) => text,
         Err(e) => usage_error(format!("reading {spec_path}: {e}")),
     };
-    let spec = ExperimentSpec::from_json(&text).unwrap_or_else(|e| usage_error(e));
+    let mut spec = ExperimentSpec::from_json(&text).unwrap_or_else(|e| usage_error(e));
+    if let Some(s) = seed {
+        // one flag reseeds the whole sweep's synthetic traffic; applied
+        // to the base so every axis point inherits it
+        spec.base.push((
+            "traffic.seed".to_string(),
+            parse_json_or_string(&s.to_string()),
+        ));
+        // run IDs don't encode base overrides, so a differently-seeded
+        // sweep must not resume a same-named store and skip everything;
+        // renaming the spec gives each seed its own default store (an
+        // explicit --store is the caller's responsibility and is warned)
+        spec.name = format!("{}-seed{s}", spec.name);
+        if store_path.is_some() {
+            eprintln!(
+                "warning: --seed changes results but not run IDs; \
+                 use a fresh --store per seed or completed IDs will be skipped"
+            );
+        }
+    }
     let store_path = store_path
         .unwrap_or_else(|| format!("target/dse/{}.jsonl", muchisim::dse::slug(&spec.name)));
     let host_threads =
@@ -332,6 +417,224 @@ fn cmd_report(args: Vec<String>) -> i32 {
         Ok(()) => 1,
         Err(code) => code,
     }
+}
+
+fn cmd_traffic(mut args: Vec<String>) -> i32 {
+    if args.is_empty() {
+        usage_error("traffic needs a subcommand (sweep or replay)");
+    }
+    let sub = args.remove(0);
+    match sub.as_str() {
+        "sweep" => cmd_traffic_sweep(args),
+        "replay" => cmd_traffic_replay(args),
+        other => usage_error(format!("unknown traffic subcommand `{other}`")),
+    }
+}
+
+/// Builds the traffic base configuration: a square grid with 4 PUs per
+/// tile (so receive handlers never bottleneck ahead of the network) and
+/// the requested topology, then user overrides on top.
+fn traffic_config(side: u32, topo: &str, overrides: &[Override]) -> SystemConfig {
+    let mut builder = SystemConfig::builder();
+    builder.chiplet_tiles(side, side).pus_per_tile(4);
+    match topo {
+        "mesh" => builder.noc_topology(NocTopology::Mesh),
+        "torus" => builder.noc_topology(NocTopology::FoldedTorus),
+        "ruche" => builder.noc_topology(NocTopology::Mesh).ruche_factor(2),
+        other => usage_error(format!(
+            "unknown topology `{other}`; expected mesh, torus, or ruche"
+        )),
+    };
+    let base = builder.build().unwrap_or_else(|e| usage_error(e));
+    apply_to_config(&base, overrides).unwrap_or_else(|e| usage_error(e))
+}
+
+fn cmd_traffic_sweep(args: Vec<String>) -> i32 {
+    let mut pattern = TrafficPattern::UniformRandom;
+    let mut rates: Vec<f64> = vec![0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+    let mut side = 8u32;
+    let mut topo = "mesh".to_string();
+    let mut threads = 4usize;
+    let mut seed: Option<u64> = None;
+    let mut overrides: Vec<Override> = Vec::new();
+    let mut csv = false;
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--pattern" => {
+                let name: String = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--pattern needs a name"));
+                pattern = TrafficPattern::from_label(&name).unwrap_or_else(|| {
+                    usage_error(format!(
+                        "unknown pattern `{name}`; choose one of: {}",
+                        TrafficPattern::ALL.map(TrafficPattern::label).join(", ")
+                    ))
+                });
+            }
+            "--rates" => {
+                let list: String = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--rates needs a comma-separated list"));
+                rates = list
+                    .split(',')
+                    .map(|r| parse_num("offered rate", r.trim()))
+                    .collect();
+                if rates.is_empty() {
+                    usage_error("--rates lists no rates");
+                }
+                // saturation detection baselines on the first point, so
+                // the list must really be ascending offered load
+                if rates.windows(2).any(|w| w[0] >= w[1]) {
+                    usage_error(format!("--rates must be strictly ascending (got {list})"));
+                }
+            }
+            "--side" => side = parse_flag_value(&mut args, "--side", "grid side"),
+            "--topo" => {
+                topo = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--topo needs a name"))
+            }
+            "--threads" => threads = parse_flag_value(&mut args, "--threads", "thread count"),
+            "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
+            "--csv" => csv = true,
+            "--set" => overrides.push(parse_set(&mut args)),
+            other => usage_error(format!("unknown argument `{other}`")),
+        }
+    }
+    let mut cfg = traffic_config(side, &topo, &overrides);
+    // an explicit --set traffic.seed wins, matching `run`'s precedence
+    if let Some(s) = seed {
+        if !overrides.iter().any(|(k, _)| k == "traffic.seed") {
+            cfg.traffic.seed = s;
+        }
+    }
+    println!(
+        "traffic sweep: {} on {side}x{side} {topo}, {} rates, window {} cycles, seed {}",
+        pattern.label(),
+        rates.len(),
+        cfg.traffic.cycles,
+        cfg.traffic.seed,
+    );
+    let curve = match saturation_sweep(&cfg, pattern, &rates, threads) {
+        Ok(curve) => curve,
+        Err(e) => {
+            eprintln!("error: traffic sweep failed: {e}");
+            return 1;
+        }
+    };
+    let label = format!("{topo}/{}", pattern.label());
+    let table = curve_table(&label, &curve);
+    if csv {
+        emit(&table.to_csv());
+    } else {
+        emit(&table.to_text());
+    }
+    match curve.saturation_point(3.0) {
+        Some(p) => println!(
+            "saturation: offered {:.3} packets/tile/cycle (accepted {:.3}, \
+             mean latency {:.1} cycles vs {:.1} at zero load)",
+            p.offered,
+            p.achieved,
+            p.avg_latency,
+            curve.base_latency().unwrap_or(0.0),
+        ),
+        None => println!("saturation: not reached within the swept rates"),
+    }
+    0
+}
+
+/// Converts a saturation curve into the viz latency-vs-load table.
+fn curve_table(label: &str, curve: &SaturationCurve) -> LoadLatencyTable {
+    let mut table = LoadLatencyTable::default();
+    for p in &curve.points {
+        table.push(LoadLatencyRow {
+            series: label.to_string(),
+            offered: p.offered,
+            achieved: p.achieved,
+            avg_latency: p.avg_latency,
+            p50_latency: p.p50_latency,
+            p95_latency: p.p95_latency,
+            p99_latency: p.p99_latency,
+            max_latency: p.max_latency,
+        });
+    }
+    table
+}
+
+fn cmd_traffic_replay(args: Vec<String>) -> i32 {
+    let mut trace_path: Option<String> = None;
+    let mut side = 16u32;
+    let mut threads = 4usize;
+    let mut overrides: Vec<Override> = Vec::new();
+    let mut args = args.into_iter().peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--trace needs a FILE")),
+                )
+            }
+            "--side" => side = parse_flag_value(&mut args, "--side", "grid side"),
+            "--threads" => threads = parse_flag_value(&mut args, "--threads", "thread count"),
+            "--set" => overrides.push(parse_set(&mut args)),
+            other => usage_error(format!("unknown argument `{other}`")),
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        usage_error("replay needs --trace FILE");
+    };
+    let base = SystemConfig::builder()
+        .chiplet_tiles(side, side)
+        .build()
+        .unwrap_or_else(|e| usage_error(e));
+    let cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
+    let tiles = cfg.total_tiles() as u32;
+    let app = match TraceReplayApp::from_file(&trace_path, tiles) {
+        Ok(app) => app,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "replaying {} packets (last injection at cycle {}) on {side}x{side} \
+         with {threads} host threads...",
+        app.total_packets(),
+        app.last_cycle(),
+    );
+    let result = match muchisim::core::Simulation::new(cfg, app) {
+        Ok(sim) => match sim.run_parallel(threads) {
+            Ok(result) => result,
+            Err(e) => {
+                eprintln!("error: replay failed: {e}");
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    if let Some(why) = &result.check_error {
+        eprintln!("error: replay check failed: {why}");
+        return 1;
+    }
+    let noc = &result.counters.noc;
+    println!(
+        "replay done: {} injected | {} ejected | {} combines | {} msg hops | \
+         runtime {} cycles | latency mean {:.1} p95 {} max {}",
+        noc.injected,
+        noc.ejected,
+        noc.reduce_combines,
+        noc.msg_hops,
+        result.runtime_cycles,
+        result.noc_latency.mean(),
+        result.noc_latency.percentile(0.95),
+        result.noc_latency.max_cycles,
+    );
+    0
 }
 
 fn print_table(store: &JsonlStore, overrides: &[Override], csv: bool) -> Result<(), i32> {
