@@ -12,9 +12,17 @@
 //!   scaling): every tile owns one matrix row and all traffic is
 //!   near-neighbor, so this measures the active-tile footprint.
 //!
+//! From 256×256 up, each point also sweeps host threads 1/4/8/16 —
+//! multi-thread strong scaling as a *measured* axis (the `threads`
+//! column). The recorded numbers are honest for the recording host: on
+//! a single-core host the threaded rows price the spin-barrier
+//! synchronization overhead rather than any speedup, and the recorded
+//! `host_cpus` field says which regime applies.
+//!
 //! `cargo bench -p muchisim-bench --bench scale` for the full sweep
-//! (the 1024×1024 BFS point runs minutes on a laptop-class host);
-//! `-- --smoke` for the scaled-down CI pass (≤ 256×256, no JSON).
+//! (the 1024×1024 points run minutes each on a laptop-class host);
+//! `-- --smoke` for the scaled-down CI pass (≤ 256×256, single-thread,
+//! no JSON).
 
 use muchisim_apps::{run_benchmark, Benchmark};
 use muchisim_config::{SystemConfig, Verbosity};
@@ -26,9 +34,14 @@ use std::sync::Arc;
 /// RMAT scale of the fixed strong-scaling input.
 const RMAT_SCALE: u32 = 10;
 
+/// Host-thread counts swept at and above `THREAD_SWEEP_MIN_SIDE`.
+const THREAD_SWEEP: [usize; 4] = [1, 4, 8, 16];
+const THREAD_SWEEP_MIN_SIDE: u32 = 256;
+
 struct Row {
     workload: &'static str,
     side: u32,
+    threads: usize,
     result: SimResult,
 }
 
@@ -37,11 +50,12 @@ impl Row {
         let r = &self.result;
         format!(
             "    {{\"workload\": \"{}\", \"grid\": \"{side}x{side}\", \"tiles\": {}, \
-             \"runtime_cycles\": {}, \"host_seconds\": {:.3}, \
+             \"threads\": {}, \"runtime_cycles\": {}, \"host_seconds\": {:.3}, \
              \"sim_cycles_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
              \"bytes_per_tile\": {:.1}, \"host_state_bytes\": {}}}",
             self.workload,
             r.total_tiles,
+            self.threads,
             r.runtime_cycles,
             r.host_seconds,
             r.sim_cycles_per_sec(),
@@ -65,16 +79,22 @@ fn config(side: u32) -> SystemConfig {
         .expect("valid scale config")
 }
 
-fn run(workload: &'static str, bench: Benchmark, side: u32, graph: &Arc<Csr>) -> Row {
-    let result = run_benchmark(bench, config(side), graph, 1).expect("scale run completes");
+fn run(
+    workload: &'static str,
+    bench: Benchmark,
+    side: u32,
+    threads: usize,
+    graph: &Arc<Csr>,
+) -> Row {
+    let result = run_benchmark(bench, config(side), graph, threads).expect("scale run completes");
     assert!(
         result.check_error.is_none(),
         "{workload} {side}x{side}: {:?}",
         result.check_error
     );
     println!(
-        "{workload:<12} {side:>4}x{side:<4} {:>10} tiles | {:>9} cycles | {:>8.1}s host | \
-         {:>10.0} simcyc/s | {:>10.0} pkt/s | {:>6.0} B/tile",
+        "{workload:<12} {side:>4}x{side:<4} x{threads:<2} {:>10} tiles | {:>9} cycles | \
+         {:>8.1}s host | {:>10.0} simcyc/s | {:>10.0} pkt/s | {:>6.0} B/tile",
         result.total_tiles,
         result.runtime_cycles,
         result.host_seconds,
@@ -85,6 +105,7 @@ fn run(workload: &'static str, bench: Benchmark, side: u32, graph: &Arc<Csr>) ->
     Row {
         workload,
         side,
+        threads,
         result,
     }
 }
@@ -98,20 +119,29 @@ fn main() {
     };
     let rmat = muchisim_bench::bench_graph(RMAT_SCALE);
 
-    muchisim_bench::rule("simulator throughput & footprint vs grid size");
+    muchisim_bench::rule("simulator throughput & footprint vs grid size and host threads");
     let mut rows = Vec::new();
     for &side in sides {
-        rows.push(run("bfs/rmat-10", Benchmark::Bfs, side, &rmat));
+        let threads: &[usize] = if smoke || side < THREAD_SWEEP_MIN_SIDE {
+            &[1]
+        } else {
+            &THREAD_SWEEP
+        };
         let grid = Arc::new(grid_2d(side, side));
-        rows.push(run("spmv/grid2d", Benchmark::Spmv, side, &grid));
+        for &t in threads {
+            rows.push(run("bfs/rmat-10", Benchmark::Bfs, side, t, &rmat));
+            rows.push(run("spmv/grid2d", Benchmark::Spmv, side, t, &grid));
+        }
     }
 
-    // The scalability claims, asserted rather than eyeballed:
+    // The scalability claims, asserted rather than eyeballed (on the
+    // single-thread rows; the threaded rows measure synchronization, not
+    // footprint — state bytes are identical across thread counts anyway):
     // (1) sparse-workload bytes/tile *falls* with grid size (idle tiles
     //     are near-free thanks to lazy router/queue state) ...
     let bfs: Vec<&Row> = rows
         .iter()
-        .filter(|r| r.workload.starts_with("bfs"))
+        .filter(|r| r.workload.starts_with("bfs") && r.threads == 1)
         .collect();
     let first = bfs.first().expect("bfs rows");
     let last = bfs.last().expect("bfs rows");
@@ -133,7 +163,7 @@ fn main() {
     //     16x-256x in tiles must not grow the per-tile footprint
     let spmv: Vec<f64> = rows
         .iter()
-        .filter(|r| r.workload.starts_with("spmv"))
+        .filter(|r| r.workload.starts_with("spmv") && r.threads == 1)
         .map(|r| r.result.bytes_per_tile())
         .collect();
     let (min, max) = spmv
@@ -148,11 +178,13 @@ fn main() {
         println!("\nsmoke mode: skipping BENCH_scale.json");
         return;
     }
+    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"grids\": \"64x64..1024x1024\",\n  \
          \"workloads\": [\"bfs/rmat-{RMAT_SCALE} (fixed graph, strong scaling)\", \
          \"spmv/grid2d (matrix = DUT grid, weak scaling)\"],\n  \
-         \"host_threads\": 1,\n  \"frame_budget\": 64,\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"host_threads\": [1, 4, 8, 16],\n  \"host_cpus\": {host_cpus},\n  \
+         \"frame_budget\": 64,\n  \"active_list\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");

@@ -11,7 +11,8 @@ use crate::tile::{SimResult, TileEngine};
 use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
 use muchisim_mem::{ChannelMap, ChannelState};
 use muchisim_noc::{
-    split_columns, EjectSink, Network, NetworkParams, Packet, Payload, Shard, SharedNet,
+    split_by_activity, split_columns, ActiveSet, EjectSink, Network, NetworkParams, Packet,
+    Payload, Shard, SharedNet,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -28,6 +29,12 @@ pub struct Simulation<A: Application> {
     cfg: SystemConfig,
     app: A,
     cycle_limit: u64,
+    /// Treat hitting the cycle limit as a normal stop instead of an
+    /// error (calibration windows).
+    stop_at_limit: bool,
+    /// Explicit shard column boundaries (activity-balanced runs);
+    /// `None` splits evenly by [`split_columns`].
+    boundaries: Option<Vec<u32>>,
 }
 
 impl<A: Application> Simulation<A> {
@@ -35,8 +42,10 @@ impl<A: Application> Simulation<A> {
     ///
     /// If the `MUCHISIM_NO_LEAP` environment variable is set, the
     /// time-leaping driver is disabled regardless of
-    /// `SystemConfig::time_leap` (results are bit-identical either way;
-    /// only host time changes).
+    /// `SystemConfig::time_leap`; if `MUCHISIM_NO_ACTIVE_LIST` is set,
+    /// the active-tile/router worklists are disabled regardless of
+    /// `SystemConfig::active_list` (results are bit-identical either
+    /// way; only host time changes).
     ///
     /// # Errors
     ///
@@ -52,6 +61,10 @@ impl<A: Application> Simulation<A> {
         if std::env::var_os("MUCHISIM_NO_LEAP").is_some() {
             cfg.time_leap = false;
         }
+        // same kill-switch pattern for the active-element worklists
+        if std::env::var_os("MUCHISIM_NO_ACTIVE_LIST").is_some() {
+            cfg.active_list = false;
+        }
         let n = app.task_types();
         if n > MAX_TASK_TYPES {
             return Err(SimError::TooManyTaskTypes { declared: n });
@@ -63,6 +76,8 @@ impl<A: Application> Simulation<A> {
             cfg,
             app,
             cycle_limit: u64::MAX / 4,
+            stop_at_limit: false,
+            boundaries: None,
         })
     }
 
@@ -103,8 +118,62 @@ impl<A: Application> Simulation<A> {
             ),
             None => None,
         };
-        let setup = SimSetup::build(&self.cfg, &self.app, threads, spill);
-        crate::parallel::drive(&self.cfg, &self.app, setup, self.cycle_limit)
+        let setup = SimSetup::build(
+            &self.cfg,
+            &self.app,
+            threads,
+            self.boundaries.as_deref(),
+            spill,
+        );
+        crate::parallel::drive(
+            &self.cfg,
+            &self.app,
+            setup,
+            self.cycle_limit,
+            self.stop_at_limit,
+        )
+    }
+
+    /// Runs a *calibration window*: at most `window_cycles` NoC cycles
+    /// per kernel, stopping normally (instead of erroring) if the limit
+    /// is hit.
+    ///
+    /// The partial result's [`SimResult::column_activity`] feeds
+    /// [`Simulation::run_balanced`]; its `check_error` is meaningless for
+    /// an interrupted application and should be ignored.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::run_parallel`] (everything except the cycle
+    /// limit).
+    pub fn run_window(mut self, threads: usize, window_cycles: u64) -> Result<SimResult, SimError> {
+        self.cycle_limit = window_cycles;
+        self.stop_at_limit = true;
+        self.run_parallel(threads)
+    }
+
+    /// Runs with up to `threads` host threads whose shard boundaries are
+    /// balanced by `column_weights` (one measured event count per grid
+    /// column, e.g. [`SimResult::column_activity`] from a
+    /// [`Simulation::run_window`] calibration) instead of split evenly.
+    ///
+    /// Boundaries still respect DRAM channel-band alignment, and results
+    /// are bit-identical to [`Simulation::run`] for *any* boundary
+    /// placement — balancing only changes how evenly host work spreads
+    /// across threads.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulation::run_parallel`].
+    pub fn run_balanced(
+        mut self,
+        threads: usize,
+        column_weights: &[u64],
+    ) -> Result<SimResult, SimError> {
+        debug_assert_eq!(column_weights.len(), self.cfg.width() as usize);
+        let align = ChannelMap::from_system(&self.cfg).map_or(1, |m| m.band_cols());
+        self.boundaries = Some(split_by_activity(column_weights, threads, align));
+        self.run_parallel(threads)
     }
 }
 
@@ -119,11 +188,15 @@ impl<A: Application> SimSetup<A> {
         cfg: &SystemConfig,
         app: &A,
         threads: usize,
+        boundaries: Option<&[u32]>,
         spill: Option<FrameSpill>,
     ) -> Self {
         let channel_map = ChannelMap::from_system(cfg);
         let align = channel_map.map_or(1, |m| m.band_cols());
-        let boundaries = split_columns(cfg.width(), threads, align);
+        let boundaries = match boundaries {
+            Some(b) => b.to_vec(),
+            None => split_columns(cfg.width(), threads, align),
+        };
         let planes = cfg.noc.num_physical.max(1);
         let networks: Vec<Network> = (0..planes)
             .map(|_| Network::with_boundaries(NetworkParams::from_system(cfg), &boundaries))
@@ -195,6 +268,13 @@ pub(crate) struct Worker<A: Application> {
     frame_ejected: u64,
     busy_grid: Vec<u32>,
     sends: Vec<OutMsg>,
+    /// Worklist of tiles that can act: pending init or IQ work, queued CQ
+    /// messages, or an open scripted-send timetable. Tiles activate on
+    /// kernel start and on packet delivery (`IqSink::offer`), and are
+    /// retired by the retention pass at the end of `inject_phase`; the
+    /// sweeps in `pu_phase`, `inject_phase`, and `leap_to` then cost
+    /// `O(active tiles)` instead of `O(all tiles)`.
+    active: ActiveSet,
 }
 
 impl<A: Application> Worker<A> {
@@ -248,6 +328,7 @@ impl<A: Application> Worker<A> {
         if scripted.iter().all(std::collections::VecDeque::is_empty) {
             scripted = Vec::new();
         }
+        let active = ActiveSet::new(slice.num_tiles(), cfg.active_list);
         Worker {
             slice,
             tiles,
@@ -284,12 +365,15 @@ impl<A: Application> Worker<A> {
                 Vec::new()
             },
             sends: Vec::new(),
+            active,
         }
     }
 
     /// Marks every tile's init task pending for `kernel`.
     pub fn start_kernel(&mut self, kernel: u32) {
         self.kernel = kernel;
+        // every tile owes an init task, so every tile is active
+        self.active.activate_all();
         for t in &mut self.tiles {
             t.init_pending = true;
         }
@@ -306,7 +390,12 @@ impl<A: Application> Worker<A> {
     pub fn pu_phase(&mut self, app: &A, cycle: u64) {
         self.tile_horizon = u64::MAX;
         let now_pu = self.clock.pu_cycle_floor(cycle);
-        for local in 0..self.tiles.len() {
+        // fold in tiles activated by deliveries since the last sweep
+        // (net_step, or a leap's backfill); every tile with work is on
+        // the list, so skipping the rest is exact
+        self.active.refresh();
+        for local in self.active.iter() {
+            let local = local as usize;
             if !self.tiles[local].has_work() {
                 continue;
             }
@@ -416,9 +505,14 @@ impl<A: Application> Worker<A> {
         }
     }
 
-    /// Drains ready channel-queue heads into the NoC planes.
+    /// Drains ready channel-queue heads into the NoC planes, then retires
+    /// tiles with no latent work from the active worklist.
     pub fn inject_phase(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet], cycle: u64) {
-        for local in 0..self.tiles.len() {
+        // the set is unchanged since pu_phase's refresh: task sends
+        // target the sending tile's own queues, so no tile activates or
+        // retires between the two sweeps
+        for local in self.active.iter() {
+            let local = local as usize;
             if self.tiles[local].cq_msgs == 0 {
                 continue;
             }
@@ -465,6 +559,19 @@ impl<A: Application> Worker<A> {
         if !self.scripted.is_empty() {
             self.scripted_inject_phase(shards, shareds, cycle);
         }
+        // retention pass: a tile stays active only while it has latent
+        // work — a pending init/IQ task, a queued CQ message, or an open
+        // scripted timetable. Deliveries during net_step re-activate.
+        if self.active.enabled() {
+            let tiles = &self.tiles;
+            let scripted = &self.scripted;
+            self.active.retain(|local| {
+                let t = &tiles[local as usize];
+                t.has_work()
+                    || t.cq_msgs > 0
+                    || scripted.get(local as usize).is_some_and(|q| !q.is_empty())
+            });
+        }
     }
 
     /// Drains due pre-scheduled sends into the NoC planes (after the
@@ -476,7 +583,11 @@ impl<A: Application> Worker<A> {
         shareds: &[&SharedNet],
         cycle: u64,
     ) {
-        for local in 0..self.scripted.len() {
+        // scripted tiles stay on the worklist until their timetable
+        // drains (the retention pass keeps them), so the active sweep
+        // sees every due head
+        for local in self.active.iter() {
+            let local = local as usize;
             let tile_g = self.slice.global(local);
             while let Some(head) = self.scripted[local].front() {
                 if head.cycle > cycle {
@@ -524,6 +635,7 @@ impl<A: Application> Worker<A> {
             delivered: &mut self.frame_ejected,
             tile_horizon: &mut self.tile_horizon,
             clock: self.clock,
+            active: &mut self.active,
         };
         for (shard, shared) in shards.iter_mut().zip(shareds) {
             shard.step(shared, cycle, &mut sink);
@@ -632,7 +744,12 @@ impl<A: Application> Worker<A> {
         if skipped == 0 {
             return;
         }
-        for t in &mut self.tiles {
+        // every tile with work is active (deliveries during this cycle's
+        // net_step activated theirs), so the batch accounting only needs
+        // the worklist
+        self.active.refresh();
+        for local in self.active.iter() {
+            let t = &mut self.tiles[local as usize];
             if t.has_work() && t.cq_over(self.cq_capacity) {
                 t.counters.cq_stall_cycles += skipped;
             }
@@ -675,6 +792,7 @@ impl<A: Application> Worker<A> {
             + self.frames.heap_bytes()
             + self.busy_grid.capacity() as u64 * 4
             + self.sends.capacity() as u64 * std::mem::size_of::<OutMsg>() as u64
+            + self.active.heap_bytes()
             + self.scripted.capacity() as u64
                 * std::mem::size_of::<std::collections::VecDeque<ScheduledSend>>() as u64
             + self
@@ -705,11 +823,13 @@ struct IqSink<'a> {
     delivered: &'a mut u64,
     tile_horizon: &'a mut u64,
     clock: ClockConv,
+    active: &'a mut ActiveSet,
 }
 
 impl EjectSink for IqSink<'_> {
     fn offer(&mut self, tile: u32, pkt: Packet) -> Result<(), Packet> {
-        let t = &mut self.tiles[self.slice.local(tile)];
+        let local = self.slice.local(tile);
+        let t = &mut self.tiles[local];
         let task = pkt.task as usize;
         if t.iqs.q_len(task) >= t.iq_caps[task] as usize {
             return Err(pkt);
@@ -719,6 +839,8 @@ impl EjectSink for IqSink<'_> {
         t.iq_msgs += 1;
         *self.msg_count += 1;
         *self.delivered += 1;
+        // a delivery is the one event that wakes an idle tile
+        self.active.activate(local as u32);
         // the delivery may be dispatchable as soon as a PU frees up
         let pu = t.pu_clock[t.earliest_pu()];
         *self.tile_horizon = (*self.tile_horizon).min(self.clock.noc_cycle_for_pu(pu));
@@ -762,8 +884,13 @@ pub(crate) fn finish<A: Application>(
     threads: usize,
 ) -> SimResult {
     let mut counters = SimCounters::default();
+    let mut column_activity = vec![0u64; cfg.width() as usize];
     for w in &workers {
         w.merge_counters(&mut counters);
+        for (local, t) in w.tiles.iter().enumerate() {
+            let col = w.slice.global(local) % cfg.width();
+            column_activity[col as usize] += t.counters.tasks_executed;
+        }
     }
     let mut noc_latency = muchisim_noc::LatencyStats::default();
     for n in &networks {
@@ -814,6 +941,7 @@ pub(crate) fn finish<A: Application>(
         total_tiles: total as u64,
         host_state_bytes,
         check_error,
+        column_activity,
     }
 }
 

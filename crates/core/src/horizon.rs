@@ -22,7 +22,7 @@ use muchisim_noc::{Shard, SharedNet};
 ///
 /// `now` and the returned cycle are in the component's own clock domain
 /// (NoC cycles for network components, PU cycles for tiles and DRAM
-/// channels — the driver converts through [`ClockConv`]).
+/// channels — the driver converts through its internal `ClockConv`).
 pub trait EventHorizon {
     /// The earliest cycle at or after `now` at which this component can
     /// produce an event, or `None` if it is completely idle (it will not

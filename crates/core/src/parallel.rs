@@ -126,6 +126,7 @@ pub(crate) fn drive<A: Application>(
     app: &A,
     setup: SimSetup<A>,
     cycle_limit: u64,
+    stop_at_limit: bool,
 ) -> Result<SimResult, SimError> {
     let started = Instant::now();
     let SimSetup {
@@ -198,7 +199,7 @@ pub(crate) fn drive<A: Application>(
         });
         runtime_cycles = final_cycle.load(Ordering::Acquire);
     }
-    if sync.limit_hit.load(Ordering::Acquire) {
+    if sync.limit_hit.load(Ordering::Acquire) && !stop_at_limit {
         return Err(SimError::CycleLimitExceeded { limit: cycle_limit });
     }
     if let Some(path) = &cfg.noc_trace {

@@ -161,6 +161,12 @@ pub struct SimResult {
     pub host_state_bytes: u64,
     /// Result of the application's output check (`None` if it passed).
     pub check_error: Option<String>,
+    /// Tasks executed per grid column (index = column). The measured
+    /// activity profile behind activity-balanced shard splits: feed it to
+    /// `Simulation::run_balanced` (usually from a short
+    /// `Simulation::run_window` calibration) to place shard boundaries
+    /// where the work is.
+    pub column_activity: Vec<u64>,
 }
 
 impl SimResult {
@@ -300,6 +306,7 @@ mod tests {
             total_tiles: 16,
             host_state_bytes: 4096,
             check_error: None,
+            column_activity: vec![0; 4],
         };
         assert!((r.slowdown_vs_dut() - 10_000.0).abs() < 1e-6);
         assert!((r.sim_cycles_per_sec() - 100_000.0).abs() < 1e-6);

@@ -180,6 +180,7 @@ pub(crate) mod tests {
                 total_tiles: 1,
                 host_state_bytes: 0,
                 check_error: check_error.map(str::to_string),
+                column_activity: Vec::new(),
             },
         }
     }

@@ -28,6 +28,12 @@
 //!   shards on separate host threads while remaining *bit-identical* to
 //!   the sequential schedule (freed buffer space becomes visible one cycle
 //!   later in both modes).
+//! * **Activity tracking**: each shard keeps an [`ActiveSet`] worklist of
+//!   routers holding traffic, so stepping a mostly-idle million-tile
+//!   plane costs `O(active routers)` per cycle, not `O(all routers)` —
+//!   results are bit-identical either way (`SystemConfig::active_list`).
+//!   [`split_by_activity`] complements [`split_columns`] with shard
+//!   boundaries balanced by measured per-column event weights.
 //!
 //! # Example
 //!
@@ -62,13 +68,17 @@ mod router;
 mod shard;
 mod topo;
 mod trace;
+mod worklist;
 
 pub use counters::NocCounters;
 pub use latency::LatencyStats;
-pub use network::{split_columns, DrainSink, EjectSink, Network, NetworkParams, SharedNet};
+pub use network::{
+    split_by_activity, split_columns, DrainSink, EjectSink, Network, NetworkParams, SharedNet,
+};
 pub use packet::{Packet, Payload, ReduceOp};
 pub use port::{InPort, OutDir};
 pub use route::{decide, RouteDecision};
 pub use shard::Shard;
 pub use topo::TopoInfo;
 pub use trace::{read_trace_jsonl, sort_events, write_trace_jsonl, TraceEvent};
+pub use worklist::{ActiveSet, Sweep};

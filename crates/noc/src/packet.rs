@@ -8,7 +8,7 @@ const INLINE_WORDS: usize = 6;
 
 /// A small message payload of 32-bit words.
 ///
-/// Payloads up to [`INLINE_WORDS`] words are stored inline (no heap
+/// Payloads up to `INLINE_WORDS` (6) words are stored inline (no heap
 /// allocation on the critical path); larger payloads spill to the heap.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Payload {
@@ -19,7 +19,7 @@ pub enum Payload {
         /// Word storage; only `words[..len]` is meaningful.
         words: [u32; INLINE_WORDS],
     },
-    /// Heap storage for payloads longer than [`INLINE_WORDS`] words.
+    /// Heap storage for payloads longer than `INLINE_WORDS` words.
     Heap(Box<[u32]>),
 }
 

@@ -26,6 +26,7 @@ use crate::port::{InPort, OutDir, IN_PORTS};
 use crate::route;
 use crate::router::RouterState;
 use crate::trace::TraceEvent;
+use crate::worklist::ActiveSet;
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -71,6 +72,14 @@ pub struct Shard {
     /// Occupancy decrements from this cycle's pops, applied at the next
     /// cycle boundary (credit-return delay; keeps parallel == sequential).
     pending_frees: Vec<(usize, u32)>,
+    /// Worklist of routers currently holding traffic. Every push site
+    /// (inject, deferred pushes, mailbox drains) activates the target;
+    /// [`Shard::step`] deactivates routers it finds drained. The
+    /// invariant "has traffic ⇒ active" holds at every step/horizon
+    /// point because no router *gains* traffic during `step` (same-shard
+    /// forwards defer to `pending_pushes`, cross-shard ones to
+    /// mailboxes).
+    active: ActiveSet,
 }
 
 impl Shard {
@@ -80,6 +89,7 @@ impl Shard {
         height: u32,
         track_busy: bool,
         record_trace: bool,
+        active_list: bool,
     ) -> Self {
         let n = (cols.end - cols.start) as usize * height as usize;
         Shard {
@@ -92,6 +102,7 @@ impl Shard {
             busy_frame: if track_busy { vec![0; n] } else { Vec::new() },
             pending_pushes: Vec::new(),
             pending_frees: Vec::new(),
+            active: ActiveSet::new(n, active_list),
         }
     }
 
@@ -168,10 +179,16 @@ impl Shard {
             let c = pkt.ready_at.max(floor);
             horizon = Some(horizon.map_or(c, |h| h.min(c)));
         }
-        for r in self.routers.iter().flatten() {
+        // only active routers can hold traffic (every push activates its
+        // target; step deactivates only drained routers), so the worklist
+        // scan is exact
+        for local in self.active.iter() {
             if horizon == Some(floor) {
                 return horizon; // cannot get any earlier
             }
+            let Some(r) = self.routers[local as usize].as_deref() else {
+                continue;
+            };
             if !r.has_traffic() {
                 continue;
             }
@@ -217,6 +234,7 @@ impl Shard {
         }
         let local = self.local_idx(tile, width);
         let freed = router_mut(&mut self.routers, local).push(InPort::Inject.index(), pkt);
+        self.active.activate(local as u32);
         if freed > 0 {
             shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
             self.counters.reduce_combines += 1;
@@ -240,6 +258,7 @@ impl Shard {
             let tile = self.global_tile(local, width);
             let qid = shared.topo.queue_id(tile, InPort::ALL[port]);
             let freed = router_mut(&mut self.routers, local).push(port, pkt);
+            self.active.activate(local as u32);
             if freed > 0 {
                 shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
                 self.counters.reduce_combines += 1;
@@ -255,6 +274,7 @@ impl Shard {
                 let local = self.local_idx(tile, width);
                 let qid = shared.topo.queue_id(tile, port);
                 let freed = router_mut(&mut self.routers, local).push(port.index(), pkt);
+                self.active.activate(local as u32);
                 if freed > 0 {
                     shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
                     self.counters.reduce_combines += 1;
@@ -264,7 +284,12 @@ impl Shard {
         }
     }
 
-    /// Advances every router in this shard by one NoC cycle.
+    /// Advances every router holding traffic by one NoC cycle.
+    ///
+    /// The sweep walks the active-router worklist in ascending local
+    /// order (bit-identical to the full scan: idle routers are pure
+    /// no-ops) and deactivates routers it leaves drained. With the
+    /// worklist disabled it degrades to the full scan.
     pub fn step(&mut self, shared: &SharedNet, cycle: u64, sink: &mut dyn EjectSink) {
         let topo = &shared.topo;
         let width = topo.width;
@@ -280,15 +305,18 @@ impl Shard {
             busy_frame,
             pending_pushes,
             pending_frees,
+            active,
         } = self;
         let ncols = (cols.end - cols.start) as usize;
         let col_start = cols.start;
-        for (local, slot) in routers.iter_mut().enumerate() {
-            let Some(router) = slot.as_deref_mut() else {
-                continue;
+        active.refresh();
+        active.retain(|local| {
+            let local = local as usize;
+            let Some(router) = routers[local].as_deref_mut() else {
+                return false;
             };
             if !router.has_traffic() {
-                continue;
+                return false;
             }
             let tile = {
                 let y = (local / ncols) as u32;
@@ -398,7 +426,11 @@ impl Shard {
                     *b += 1;
                 }
             }
-        }
+            // keep the router active iff it still holds traffic; stalled
+            // heads (busy link, backpressure, eject refusal) retry next
+            // cycle, so they must stay on the worklist
+            router.has_traffic()
+        });
     }
 
     fn round_robin_pick(candidates: &[usize], last: u8) -> usize {
@@ -453,6 +485,18 @@ impl Shard {
                 .map(|(_, _, p)| p.payload.heap_bytes())
                 .sum::<u64>()
             + self.pending_frees.capacity() as u64 * std::mem::size_of::<(usize, u32)>() as u64
+            + self.active.heap_bytes()
+    }
+
+    /// Routers currently on the active worklist (all allocated routers
+    /// when the worklist is disabled). Activity telemetry for scheduling
+    /// studies; the cycle loop itself never reads this.
+    pub fn active_routers(&self) -> usize {
+        if self.active.enabled() {
+            self.active.active_count()
+        } else {
+            self.allocated_routers()
+        }
     }
 
     /// Per-queue occupancy of task-type `_task` packets, for verbosity V3
@@ -494,8 +538,9 @@ mod tests {
 
     #[test]
     fn fresh_shard_allocates_no_routers() {
-        let mut shard = Shard::new(0, 0..8, 8, false, false);
+        let mut shard = Shard::new(0, 0..8, 8, false, false, true);
         assert_eq!(shard.allocated_routers(), 0);
+        assert_eq!(shard.active_routers(), 0);
         assert!(shard.is_drained());
         assert_eq!(shard.queued_packets(), 0);
         assert_eq!(shard.next_event_cycle(0), None);

@@ -37,7 +37,8 @@ muchisim — MuchiSim: design exploration for multi-chip manycore systems
 
 USAGE:
     muchisim run <app> [scale [side [threads]]] [--telemetry] [--seed N]
-                 [--trace FILE] [--set KEY=VALUE]...
+                 [--threads N] [--no-active-list] [--trace FILE]
+                 [--set KEY=VALUE]...
     muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--seed N] [--csv]
     muchisim report --store FILE [--set KEY=VALUE]... [--csv]
     muchisim traffic sweep [--pattern P] [--rates R,R,...] [--side N]
@@ -57,7 +58,10 @@ SUBCOMMANDS:
              generator and traffic.seed; --trace records every NoC
              injection to FILE (JSONL) for later replay. --telemetry
              additionally prints simulator throughput and the host
-             memory footprint.
+             memory footprint. --threads N overrides the positional
+             thread count; --no-active-list disables the active-tile
+             worklists (full per-cycle sweeps, bit-identical results,
+             shorthand for --set active_list=false).
     sweep    Expand a JSON experiment spec into run points, execute the
              ones missing from the store concurrently, and print the
              comparison table. Re-invoking skips completed run IDs.
@@ -127,12 +131,18 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut telemetry = false;
     let mut seed: Option<u64> = None;
     let mut trace_path: Option<String> = None;
+    let mut threads_flag: Option<usize> = None;
+    let mut no_active_list = false;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--set" => overrides.push(parse_set(&mut args)),
             "--telemetry" => telemetry = true,
             "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
+            "--threads" => {
+                threads_flag = Some(parse_flag_value(&mut args, "--threads", "thread count"))
+            }
+            "--no-active-list" => no_active_list = true,
             "--trace" => {
                 trace_path = Some(
                     args.next()
@@ -157,9 +167,11 @@ fn cmd_run(args: Vec<String>) -> i32 {
     };
     let scale: u32 = positional.get(1).map_or(11, |s| parse_num("RMAT scale", s));
     let side: u32 = positional.get(2).map_or(16, |s| parse_num("grid side", s));
-    let threads: usize = positional
-        .get(3)
-        .map_or(8, |s| parse_num("thread count", s));
+    let threads: usize = threads_flag.unwrap_or_else(|| {
+        positional
+            .get(3)
+            .map_or(8, |s| parse_num("thread count", s))
+    });
 
     let mut builder = SystemConfig::builder();
     builder.chiplet_tiles(side, side);
@@ -168,6 +180,9 @@ fn cmd_run(args: Vec<String>) -> i32 {
     }
     let base = builder.build().unwrap_or_else(|e| usage_error(e));
     let mut cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
+    if no_active_list {
+        cfg.active_list = false;
+    }
     // --seed drives both generators so one flag makes the whole run
     // reproducible; an explicit --set traffic.seed still wins
     let graph_seed = seed.unwrap_or(42);

@@ -6,6 +6,9 @@
 //! refactors (lazy router queues, pooled tile state, streaming frame
 //! aggregation) are provably behavior-preserving: any change to a
 //! counter, a frame delta, or an activity grid changes a checksum.
+//! Every key is additionally re-run under the other three
+//! (time-leap x active-list) combinations, which must all reproduce the
+//! committed checksum — the speed layers are pure host-side shortcuts.
 //!
 //! To regenerate after an *intentional* model change:
 //!
@@ -132,8 +135,8 @@ fn golden_traces_match_committed_checksums() {
         for bench in Benchmark::ALL {
             let key = format!("{}-{}", bench.label(), cfg_name);
             // single-threaded: results are bit-identical for any thread
-            // count (pinned by the leap/suite determinism tests), and the
-            // spin-barrier driver thrashes on single-CPU CI hosts
+            // count (pinned by the leap/suite/worklist determinism tests),
+            // and the spin-barrier driver thrashes on single-CPU CI hosts
             let result = run_benchmark(bench, cfg.clone(), &graph, 1)
                 .unwrap_or_else(|e| panic!("{key} failed to run: {e}"));
             assert!(
@@ -142,6 +145,27 @@ fn golden_traces_match_committed_checksums() {
                 result.check_error
             );
             let hash = checksum(&result, tiles);
+            if !bless {
+                // time leaping and the active-tile worklists are host-side
+                // shortcuts: every (leap x active-list) combination must
+                // reproduce the committed trace bit-for-bit
+                for (combo, leap, active) in [
+                    ("leap only", true, false),
+                    ("active-list only", false, true),
+                    ("lockstep full-sweep", false, false),
+                ] {
+                    let mut c = cfg.clone();
+                    c.time_leap = leap;
+                    c.active_list = active;
+                    let r = run_benchmark(bench, c, &graph, 1)
+                        .unwrap_or_else(|e| panic!("{key} [{combo}] failed to run: {e}"));
+                    let h = checksum(&r, tiles);
+                    assert_eq!(
+                        h, hash,
+                        "{key}: {combo} diverged from the default leap+active-list run"
+                    );
+                }
+            }
             if bless {
                 if n > 0 {
                     blessed.push_str(",\n");

@@ -3,7 +3,7 @@
 //! The build environment has no network access to crates.io, so this
 //! workspace vendors the slice of the proptest API its tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(...)]`
-//! header), range / tuple / `collection::vec` / [`any`] strategies, and
+//! header), range / tuple / `collection::vec` / `any()` strategies, and
 //! the `prop_assert*` macros. Inputs are sampled deterministically (the
 //! RNG is seeded from the test name), and there is **no shrinking** — a
 //! failing case reports the raw sampled inputs via the panic message of
