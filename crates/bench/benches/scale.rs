@@ -14,10 +14,11 @@
 //!
 //! From 256×256 up, each point also sweeps host threads 1/4/8/16 —
 //! multi-thread strong scaling as a *measured* axis (the `threads`
-//! column). The recorded numbers are honest for the recording host: on
-//! a single-core host the threaded rows price the spin-barrier
-//! synchronization overhead rather than any speedup, and the recorded
-//! `host_cpus` field says which regime applies.
+//! column). Thread counts above the recording host's CPU count are
+//! skipped rather than recorded: an oversubscribed spin-barrier prices
+//! scheduler preemption, not the simulator, so such rows would be
+//! artifacts. The recorded `host_cpus` and `host_threads` fields say
+//! which sweep actually ran.
 //!
 //! `cargo bench -p muchisim-bench --bench scale` for the full sweep
 //! (the 1024×1024 points run minutes each on a laptop-class host);
@@ -52,7 +53,9 @@ impl Row {
             "    {{\"workload\": \"{}\", \"grid\": \"{side}x{side}\", \"tiles\": {}, \
              \"threads\": {}, \"runtime_cycles\": {}, \"host_seconds\": {:.3}, \
              \"sim_cycles_per_sec\": {:.1}, \"packets_per_sec\": {:.1}, \
-             \"bytes_per_tile\": {:.1}, \"host_state_bytes\": {}}}",
+             \"bytes_per_tile\": {:.1}, \"host_state_bytes\": {}, \
+             \"phase_ns\": {{\"pu\": {}, \"inject\": {}, \"net\": {}, \
+             \"worklist\": {}}}}}",
             self.workload,
             r.total_tiles,
             self.threads,
@@ -62,6 +65,10 @@ impl Row {
             r.packets_per_sec(),
             r.bytes_per_tile(),
             r.host_state_bytes,
+            r.host_phase_ns.pu,
+            r.host_phase_ns.inject,
+            r.host_phase_ns.net,
+            r.host_phase_ns.worklist,
             side = self.side,
         )
     }
@@ -110,7 +117,37 @@ fn run(
     }
 }
 
+/// CI perf gate: one dense point (spmv 256×256, single thread), with the
+/// phase profiler asserted populated and worklist bookkeeping bounded.
+fn perf_smoke() {
+    let side = 256;
+    let grid = Arc::new(grid_2d(side, side));
+    let row = run("spmv/grid2d", Benchmark::Spmv, side, 1, &grid);
+    let p = &row.result.host_phase_ns;
+    println!(
+        "phase_ns: pu={} inject={} net={} worklist={} ({:.1}% of attributed time)",
+        p.pu,
+        p.inject,
+        p.net,
+        p.worklist,
+        p.worklist_share() * 100.0
+    );
+    assert!(
+        p.total() > 0 && p.pu > 0 && p.net > 0,
+        "host_phase_ns must be populated: {p:?}"
+    );
+    assert!(
+        p.worklist_share() < 0.25,
+        "worklist bookkeeping at {:.1}% of cycle time (budget: 25%)",
+        p.worklist_share() * 100.0
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--perf-smoke") {
+        perf_smoke();
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke" || a == "--test");
     let sides: &[u32] = if smoke {
         &[64, 128, 256]
@@ -118,6 +155,13 @@ fn main() {
         &[64, 128, 256, 512, 1024]
     };
     let rmat = muchisim_bench::bench_graph(RMAT_SCALE);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // oversubscribed thread counts measure the host scheduler, not the
+    // simulator: record only what this host can actually run in parallel
+    let swept: Vec<usize> = THREAD_SWEEP
+        .into_iter()
+        .filter(|&t| t <= host_cpus)
+        .collect();
 
     muchisim_bench::rule("simulator throughput & footprint vs grid size and host threads");
     let mut rows = Vec::new();
@@ -125,7 +169,7 @@ fn main() {
         let threads: &[usize] = if smoke || side < THREAD_SWEEP_MIN_SIDE {
             &[1]
         } else {
-            &THREAD_SWEEP
+            &swept
         };
         let grid = Arc::new(grid_2d(side, side));
         for &t in threads {
@@ -178,12 +222,11 @@ fn main() {
         println!("\nsmoke mode: skipping BENCH_scale.json");
         return;
     }
-    let host_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
     let json = format!(
         "{{\n  \"bench\": \"scale\",\n  \"grids\": \"64x64..1024x1024\",\n  \
          \"workloads\": [\"bfs/rmat-{RMAT_SCALE} (fixed graph, strong scaling)\", \
          \"spmv/grid2d (matrix = DUT grid, weak scaling)\"],\n  \
-         \"host_threads\": [1, 4, 8, 16],\n  \"host_cpus\": {host_cpus},\n  \
+         \"host_threads\": {swept:?},\n  \"host_cpus\": {host_cpus},\n  \
          \"frame_budget\": 64,\n  \"active_list\": true,\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows.iter().map(Row::json).collect::<Vec<_>>().join(",\n")
     );

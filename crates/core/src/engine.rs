@@ -7,7 +7,7 @@ use crate::frames::{Frame, FrameLog, FrameSink, FrameSpill};
 use crate::horizon::ClockConv;
 use crate::sched::Scheduler;
 use crate::slice::ColSlice;
-use crate::tile::{SimResult, TileEngine};
+use crate::tile::{HostPhaseNs, SimResult, TileEngine};
 use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
 use muchisim_mem::{ChannelMap, ChannelState};
 use muchisim_noc::{
@@ -230,6 +230,12 @@ impl<A: Application> SimSetup<A> {
 }
 
 /// One host worker: a column slice of tiles plus its DRAM channels.
+///
+/// The scalars the per-cycle sweeps read live here as dense arrays
+/// indexed by local tile id (`pu_clock`, `iq_msgs`, `cq_msgs`,
+/// `init_pending`, `pu_busy_frame`), not in [`TileEngine`]: the active
+/// worklist drain walks contiguous memory and only dereferences a tile's
+/// cold struct when a task actually dispatches or a message moves.
 pub(crate) struct Worker<A: Application> {
     pub slice: ColSlice,
     pub tiles: Vec<TileEngine>,
@@ -244,6 +250,31 @@ pub(crate) struct Worker<A: Application> {
     pub clock: ClockConv,
     flit_bytes: u32,
     planes: usize,
+    /// PUs per tile (row stride of `pu_clock`).
+    pus: usize,
+    /// Per-PU clocks in PU cycles (SoA, `local * pus + pu`).
+    pu_clock: Vec<u64>,
+    /// Messages queued in each tile's IQs (SoA; the activity check).
+    iq_msgs: Vec<u32>,
+    /// Messages queued in each tile's CQs (SoA).
+    cq_msgs: Vec<u32>,
+    /// Whether each tile's init task has not yet run (SoA).
+    init_pending: Vec<bool>,
+    /// First NoC cycle at which each tile's earliest PU can accept a
+    /// dispatch again (SoA wake cache). Strictly before it, `pu_phase`
+    /// provably dispatches nothing, so a tile with no CQ backlog (whose
+    /// stall counter cannot tick) skips without touching its cold state.
+    /// Refreshed at the end of every non-skipped visit; PU clocks are
+    /// monotone, so a stale value is merely conservative (fewer skips).
+    pu_wake: Vec<u64>,
+    /// First NoC cycle at which any of each tile's CQ heads matures (SoA
+    /// wake cache). Strictly before it, `inject_phase` provably injects
+    /// nothing for the tile. Lowered when `pu_phase` enqueues a send
+    /// (the new message may be a fresh head) and recomputed from the
+    /// surviving heads on every non-skipped drain pass.
+    cq_wake: Vec<u64>,
+    /// PU busy cycles per tile in the current statistics frame (SoA).
+    pu_busy_frame: Vec<u32>,
     verbosity: Verbosity,
     frame_interval: u64,
     pointer_prefetch: bool,
@@ -268,6 +299,10 @@ pub(crate) struct Worker<A: Application> {
     frame_ejected: u64,
     busy_grid: Vec<u32>,
     sends: Vec<OutMsg>,
+    /// Host nanoseconds spent per driver phase by this worker (the
+    /// built-in phase profiler; merged across workers into
+    /// [`SimResult::host_phase_ns`]).
+    pub phase: HostPhaseNs,
     /// Worklist of tiles that can act: pending init or IQ work, queued CQ
     /// messages, or an open scripted-send timetable. Tiles activate on
     /// kernel start and on packet delivery (`IqSink::offer`), and are
@@ -328,7 +363,9 @@ impl<A: Application> Worker<A> {
         if scripted.iter().all(std::collections::VecDeque::is_empty) {
             scripted = Vec::new();
         }
-        let active = ActiveSet::new(slice.num_tiles(), cfg.active_list);
+        let n = tiles.len();
+        let pus = cfg.pus_per_tile.max(1) as usize;
+        let active = ActiveSet::new(n, cfg.active_list);
         Worker {
             slice,
             tiles,
@@ -341,6 +378,14 @@ impl<A: Application> Worker<A> {
             clock: ClockConv::from_system(cfg),
             flit_bytes: cfg.flit_bytes(),
             planes: cfg.noc.num_physical.max(1) as usize,
+            pus,
+            pu_clock: vec![0; n * pus],
+            iq_msgs: vec![0; n],
+            cq_msgs: vec![0; n],
+            init_pending: vec![false; n],
+            pu_wake: vec![0; n],
+            cq_wake: vec![0; n],
+            pu_busy_frame: vec![0; n],
             verbosity: cfg.verbosity,
             frame_interval: cfg.frame_interval_cycles.max(1),
             pointer_prefetch,
@@ -365,8 +410,28 @@ impl<A: Application> Worker<A> {
                 Vec::new()
             },
             sends: Vec::new(),
+            phase: HostPhaseNs::default(),
             active,
         }
+    }
+
+    /// Whether the TSU of tile `local` has anything to dispatch.
+    #[inline]
+    fn has_work(&self, local: usize) -> bool {
+        self.init_pending[local] || self.iq_msgs[local] > 0
+    }
+
+    /// Index of tile `local`'s PU with the earliest clock.
+    #[inline]
+    fn earliest_pu(&self, local: usize) -> usize {
+        let clocks = &self.pu_clock[local * self.pus..(local + 1) * self.pus];
+        let mut best = 0;
+        for (i, &c) in clocks.iter().enumerate() {
+            if c < clocks[best] {
+                best = i;
+            }
+        }
+        best
     }
 
     /// Marks every tile's init task pending for `kernel`.
@@ -374,9 +439,7 @@ impl<A: Application> Worker<A> {
         self.kernel = kernel;
         // every tile owes an init task, so every tile is active
         self.active.activate_all();
-        for t in &mut self.tiles {
-            t.init_pending = true;
-        }
+        self.init_pending.fill(true);
         self.msg_count += self.tiles.len() as i64;
         if kernel == 0 {
             // scripted sends count as pending work until injected, so the
@@ -388,15 +451,25 @@ impl<A: Application> Worker<A> {
     /// Dispatches ready tasks on every PU whose clock has been caught up
     /// by the network time (paper §III-C synchronization rule).
     pub fn pu_phase(&mut self, app: &A, cycle: u64) {
+        let t0 = Instant::now();
         self.tile_horizon = u64::MAX;
         let now_pu = self.clock.pu_cycle_floor(cycle);
         // fold in tiles activated by deliveries since the last sweep
         // (net_step, or a leap's backfill); every tile with work is on
         // the list, so skipping the rest is exact
         self.active.refresh();
+        self.phase.worklist += t0.elapsed().as_nanos() as u64;
         for local in self.active.iter() {
             let local = local as usize;
-            if !self.tiles[local].has_work() {
+            if !self.has_work(local) {
+                continue;
+            }
+            // strictly before `pu_wake` no PU accepts a dispatch, and a
+            // CQ backlog within the per-queue capacity (total ≤ cap ⇒
+            // every queue ≤ cap) cannot tick the stall counter either:
+            // the whole visit is a provable no-op beyond its horizon
+            if cycle < self.pu_wake[local] && self.cq_msgs[local] <= self.cq_capacity {
+                self.tile_horizon = self.tile_horizon.min(self.pu_wake[local]);
                 continue;
             }
             let tile_g = self.slice.global(local);
@@ -404,18 +477,19 @@ impl<A: Application> Worker<A> {
             // configured capacity (paper §III-A "Queues"); over-capacity
             // CQs are counted as send-side stall pressure but do not block
             // dispatch, which keeps acyclic task chains deadlock-free.
-            if self.tiles[local].cq_over(self.cq_capacity) {
+            if self.cq_msgs[local] > 0 && self.tiles[local].cq_over(self.cq_capacity) {
                 self.tiles[local].counters.cq_stall_cycles += 1;
             }
             loop {
-                let t = &mut self.tiles[local];
-                let pu = t.earliest_pu();
-                if !self.clock.pu_ready(t.pu_clock[pu], cycle) {
+                let pu = self.earliest_pu(local);
+                let pu_clk = self.pu_clock[local * self.pus + pu];
+                if !self.clock.pu_ready(pu_clk, cycle) {
                     break;
                 }
-                let start = t.pu_clock[pu].max(now_pu);
-                let (is_init, task, payload) = if t.init_pending {
-                    t.init_pending = false;
+                let start = pu_clk.max(now_pu);
+                let t = &mut self.tiles[local];
+                let (is_init, task, payload) = if self.init_pending[local] {
+                    self.init_pending[local] = false;
                     self.msg_count -= 1;
                     (true, 0u8, Payload::empty())
                 } else if let Some(task) = t.sched.pick(t.iqs.as_slice()) {
@@ -423,7 +497,7 @@ impl<A: Application> Worker<A> {
                         .iqs
                         .pop_front(task as usize)
                         .expect("scheduler picked a non-empty queue");
-                    t.iq_msgs -= 1;
+                    self.iq_msgs[local] -= 1;
                     self.msg_count -= 1;
                     (false, task, payload)
                 } else {
@@ -471,12 +545,11 @@ impl<A: Application> Worker<A> {
                 // one TSU dispatch cycle + dequeue + modeled task latency
                 let duration = 1 + qlat + ctx.elapsed_cycles();
                 let end = start + duration;
-                t.pu_clock[pu] = end;
+                self.pu_clock[local * self.pus + pu] = end;
                 t.counters.tasks_executed += 1;
                 t.counters.busy_cycles += duration;
-                t.busy_frame = t
-                    .busy_frame
-                    .saturating_add(duration.min(u32::MAX as u64) as u32);
+                self.pu_busy_frame[local] =
+                    self.pu_busy_frame[local].saturating_add(duration.min(u32::MAX as u64) as u32);
                 self.frame_tasks += 1;
                 let end_fs = self.clock.pu_cycle_fs(end);
                 if end_fs > self.max_pu_fs {
@@ -487,74 +560,118 @@ impl<A: Application> Worker<A> {
                     let t = &mut self.tiles[local];
                     if msg.dst == tile_g {
                         t.iqs.q_mut(msg.task as usize).push_back(msg.payload);
-                        t.iq_msgs += 1;
+                        self.iq_msgs[local] += 1;
                         self.msg_count += 1;
                     } else {
+                        // the new message may become a fresh CQ head:
+                        // lower the inject wake cache to its maturity
+                        let due = self.clock.noc_cycle_for_pu(msg.at_pu_cycle);
                         t.cqs.q_mut(msg.task as usize).push_back(msg);
-                        t.cq_msgs += 1;
+                        self.cq_msgs[local] += 1;
                         self.msg_count += 1;
+                        if due < self.cq_wake[local] {
+                            self.cq_wake[local] = due;
+                        }
                     }
                 }
             }
             // tasks left undispatched wait on the earliest PU clock
-            let t = &self.tiles[local];
-            if t.has_work() {
-                let pu = t.pu_clock[t.earliest_pu()];
-                self.tile_horizon = self.tile_horizon.min(self.clock.noc_cycle_for_pu(pu));
+            let pu = self.pu_clock[local * self.pus + self.earliest_pu(local)];
+            let wake = self.clock.noc_cycle_for_pu(pu);
+            self.pu_wake[local] = wake;
+            if self.has_work(local) {
+                self.tile_horizon = self.tile_horizon.min(wake);
             }
         }
+        self.phase.pu += t0.elapsed().as_nanos() as u64;
     }
 
     /// Drains ready channel-queue heads into the NoC planes, then retires
     /// tiles with no latent work from the active worklist.
+    ///
+    /// Each (tile, task) run drains through one [`muchisim_noc::Shard`]
+    /// injection batch: admission control runs on a locally cached
+    /// occupancy value and the occupancy/in-flight atomics are updated
+    /// once per run, not once per packet (exact because the inject queue
+    /// is single-writer during the barrier-separated local phase).
     pub fn inject_phase(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet], cycle: u64) {
+        let t0 = Instant::now();
         // the set is unchanged since pu_phase's refresh: task sends
         // target the sending tile's own queues, so no tile activates or
         // retires between the two sweeps
         for local in self.active.iter() {
             let local = local as usize;
-            if self.tiles[local].cq_msgs == 0 {
+            if self.cq_msgs[local] == 0 {
+                continue;
+            }
+            // every queued head matures no earlier than `cq_wake`:
+            // strictly before it the drain pass is a provable no-op
+            if cycle < self.cq_wake[local] {
+                self.tile_horizon = self.tile_horizon.min(self.cq_wake[local]);
                 continue;
             }
             let tile_g = self.slice.global(local);
             let t = &mut self.tiles[local];
+            // earliest maturity among heads left behind by this pass
+            let mut wake = u64::MAX;
             for task in 0..t.cqs.len() {
+                let Some(head) = t.cqs.front(task) else {
+                    continue;
+                };
+                let ready_noc = self.clock.noc_cycle_for_pu(head.at_pu_cycle);
+                if ready_noc > cycle {
+                    // immature head: no batch to open, it matures at
+                    // ready_noc
+                    self.tile_horizon = self.tile_horizon.min(ready_noc);
+                    wake = wake.min(ready_noc);
+                    continue;
+                }
+                let plane = task % self.planes;
+                let mut batch = shards[plane].inject_batch(shareds[plane], tile_g);
                 while let Some(head) = t.cqs.front(task) {
                     let ready_noc = self.clock.noc_cycle_for_pu(head.at_pu_cycle);
                     if ready_noc > cycle {
                         // immature head: it matures at ready_noc
                         self.tile_horizon = self.tile_horizon.min(ready_noc);
+                        wake = wake.min(ready_noc);
                         break;
                     }
-                    let plane = task % self.planes;
-                    let msg = t.cqs.front(task).expect("checked head");
+                    // move the payload out instead of cloning it; a
+                    // refused packet hands it back for restore
+                    let msg = t.cqs.pop_front(task).expect("checked head");
+                    let at_pu_cycle = msg.at_pu_cycle;
                     let flits = 1 + msg.payload.size_bytes().div_ceil(self.flit_bytes);
-                    let mut pkt = Packet::unicast(
-                        tile_g,
-                        msg.dst,
-                        task as u8,
-                        msg.payload.clone(),
-                        flits as u16,
-                    )
-                    .ready_at(cycle);
+                    let mut pkt =
+                        Packet::unicast(tile_g, msg.dst, task as u8, msg.payload, flits as u16)
+                            .ready_at(cycle);
                     if let Some(op) = msg.reduce {
                         pkt = pkt.with_reduce(op);
                     }
-                    match shards[plane].inject(shareds[plane], tile_g, pkt) {
+                    match batch.offer(pkt) {
                         Ok(()) => {
-                            t.cqs.pop_front(task);
-                            t.cq_msgs -= 1;
+                            self.cq_msgs[local] -= 1;
                             self.msg_count -= 1;
                             self.frame_injected += 1;
                         }
-                        Err(_) => {
-                            // inject queue full: the head retries next cycle
+                        Err(pkt) => {
+                            // inject queue full: restore the head, retry
+                            // next cycle
+                            t.cqs.q_mut(task).push_front(OutMsg {
+                                dst: pkt.dst,
+                                task: task as u8,
+                                payload: pkt.payload,
+                                at_pu_cycle,
+                                reduce: pkt.reduce,
+                            });
                             self.tile_horizon = self.tile_horizon.min(cycle + 1);
+                            wake = wake.min(cycle + 1);
                             break;
                         }
                     }
                 }
+                batch.commit();
             }
+            self.cq_wake[local] = wake;
         }
         if !self.scripted.is_empty() {
             self.scripted_inject_phase(shards, shareds, cycle);
@@ -562,21 +679,30 @@ impl<A: Application> Worker<A> {
         // retention pass: a tile stays active only while it has latent
         // work — a pending init/IQ task, a queued CQ message, or an open
         // scripted timetable. Deliveries during net_step re-activate.
+        // Reads only the dense SoA arrays — this is the whole-worklist
+        // walk the dense regime pays every cycle.
         if self.active.enabled() {
-            let tiles = &self.tiles;
+            let w0 = Instant::now();
+            let init_pending = &self.init_pending;
+            let iq_msgs = &self.iq_msgs;
+            let cq_msgs = &self.cq_msgs;
             let scripted = &self.scripted;
             self.active.retain(|local| {
-                let t = &tiles[local as usize];
-                t.has_work()
-                    || t.cq_msgs > 0
-                    || scripted.get(local as usize).is_some_and(|q| !q.is_empty())
+                let l = local as usize;
+                init_pending[l]
+                    || iq_msgs[l] > 0
+                    || cq_msgs[l] > 0
+                    || scripted.get(l).is_some_and(|q| !q.is_empty())
             });
+            self.phase.worklist += w0.elapsed().as_nanos() as u64;
         }
+        self.phase.inject += t0.elapsed().as_nanos() as u64;
     }
 
     /// Drains due pre-scheduled sends into the NoC planes (after the
     /// channel queues, so apps mixing both keep CQ traffic first within a
-    /// cycle).
+    /// cycle). Runs of consecutive same-plane due heads share one
+    /// injection batch.
     fn scripted_inject_phase(
         &mut self,
         shards: &mut [&mut Shard],
@@ -589,7 +715,7 @@ impl<A: Application> Worker<A> {
         for local in self.active.iter() {
             let local = local as usize;
             let tile_g = self.slice.global(local);
-            while let Some(head) = self.scripted[local].front() {
+            'tile: while let Some(head) = self.scripted[local].front() {
                 if head.cycle > cycle {
                     // not due yet: the schedule is sorted, so this head is
                     // this tile's next injection event
@@ -597,39 +723,76 @@ impl<A: Application> Worker<A> {
                     break;
                 }
                 let plane = head.task as usize % self.planes;
-                let flits = 1 + head.payload.size_bytes().div_ceil(self.flit_bytes);
-                let mut pkt = Packet::unicast(
-                    tile_g,
-                    head.dst,
-                    head.task,
-                    head.payload.clone(),
-                    flits as u16,
-                )
-                .ready_at(cycle)
-                .born(head.cycle);
-                if let Some(op) = head.reduce {
-                    pkt = pkt.with_reduce(op);
-                }
-                match shards[plane].inject(shareds[plane], tile_g, pkt) {
-                    Ok(()) => {
-                        self.scripted[local].pop_front();
-                        self.msg_count -= 1;
-                        self.frame_injected += 1;
-                    }
-                    Err(_) => {
-                        // inject queue full: the head retries next cycle
-                        self.tile_horizon = self.tile_horizon.min(cycle + 1);
+                let mut batch = shards[plane].inject_batch(shareds[plane], tile_g);
+                let mut stalled = false;
+                while let Some(head) = self.scripted[local].front() {
+                    if head.cycle > cycle {
+                        self.tile_horizon = self.tile_horizon.min(head.cycle);
+                        stalled = true;
                         break;
                     }
+                    if head.task as usize % self.planes != plane {
+                        break; // plane changed: close this run's batch
+                    }
+                    let head = self.scripted[local].pop_front().expect("checked head");
+                    let born = head.cycle;
+                    let flits = 1 + head.payload.size_bytes().div_ceil(self.flit_bytes);
+                    let mut pkt =
+                        Packet::unicast(tile_g, head.dst, head.task, head.payload, flits as u16)
+                            .ready_at(cycle)
+                            .born(born);
+                    if let Some(op) = head.reduce {
+                        pkt = pkt.with_reduce(op);
+                    }
+                    match batch.offer(pkt) {
+                        Ok(()) => {
+                            self.msg_count -= 1;
+                            self.frame_injected += 1;
+                        }
+                        Err(pkt) => {
+                            // inject queue full: restore the head, retry
+                            // next cycle
+                            self.scripted[local].push_front(ScheduledSend {
+                                cycle: born,
+                                dst: pkt.dst,
+                                task: pkt.task,
+                                payload: pkt.payload,
+                                reduce: pkt.reduce,
+                            });
+                            self.tile_horizon = self.tile_horizon.min(cycle + 1);
+                            stalled = true;
+                            break;
+                        }
+                    }
+                }
+                batch.commit();
+                if stalled {
+                    break 'tile;
                 }
             }
         }
     }
 
+    /// Applies every shard's cycle-boundary bookkeeping (deferred frees,
+    /// deferred pushes, mailbox drains) for the next cycle. Must run for
+    /// all shards (with a barrier in parallel mode) before any shard's
+    /// step for that cycle.
+    pub fn begin_cycle(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet]) {
+        let t0 = Instant::now();
+        for (shard, shared) in shards.iter_mut().zip(shareds) {
+            shard.begin_cycle(shared);
+        }
+        self.phase.net += t0.elapsed().as_nanos() as u64;
+    }
+
     /// Steps this worker's shard of every NoC plane for `cycle`.
     pub fn net_step(&mut self, shards: &mut [&mut Shard], shareds: &[&SharedNet], cycle: u64) {
+        let t0 = Instant::now();
         let mut sink = IqSink {
             tiles: &mut self.tiles,
+            iq_msgs: &mut self.iq_msgs,
+            pu_clock: &self.pu_clock,
+            pus: self.pus,
             slice: &self.slice,
             msg_count: &mut self.msg_count,
             delivered: &mut self.frame_ejected,
@@ -640,6 +803,7 @@ impl<A: Application> Worker<A> {
         for (shard, shared) in shards.iter_mut().zip(shareds) {
             shard.step(shared, cycle, &mut sink);
         }
+        self.phase.net += t0.elapsed().as_nanos() as u64;
     }
 
     /// Records a statistics frame if `cycle` closes one.
@@ -675,12 +839,12 @@ impl<A: Application> Worker<A> {
                 if busy > 0 {
                     frame.router_busy.push((g, busy));
                 }
-                let pu = std::mem::take(&mut self.tiles[local].busy_frame);
+                let pu = std::mem::take(&mut self.pu_busy_frame[local]);
                 if pu > 0 {
                     frame.pu_busy.push((g, pu));
                 }
-                if self.verbosity >= Verbosity::V3 && self.tiles[local].iq_msgs > 0 {
-                    frame.iq_occupancy.push((g, self.tiles[local].iq_msgs));
+                if self.verbosity >= Verbosity::V3 && self.iq_msgs[local] > 0 {
+                    frame.iq_occupancy.push((g, self.iq_msgs[local]));
                 }
             }
         }
@@ -744,22 +908,27 @@ impl<A: Application> Worker<A> {
         if skipped == 0 {
             return;
         }
+        let t0 = Instant::now();
         // every tile with work is active (deliveries during this cycle's
         // net_step activated theirs), so the batch accounting only needs
         // the worklist
         self.active.refresh();
+        self.phase.worklist += t0.elapsed().as_nanos() as u64;
         for local in self.active.iter() {
-            let t = &mut self.tiles[local as usize];
-            if t.has_work() && t.cq_over(self.cq_capacity) {
-                t.counters.cq_stall_cycles += skipped;
+            let local = local as usize;
+            if self.has_work(local)
+                && self.cq_msgs[local] > 0
+                && self.tiles[local].cq_over(self.cq_capacity)
+            {
+                self.tiles[local].counters.cq_stall_cycles += skipped;
             }
         }
-        if self.verbosity == Verbosity::V0 {
-            return;
+        if self.verbosity != Verbosity::V0 {
+            for start in self.frames.lockstep_capture_starts(cycle, next) {
+                self.capture_frame(shards, start);
+            }
         }
-        for start in self.frames.lockstep_capture_starts(cycle, next) {
-            self.capture_frame(shards, start);
-        }
+        self.phase.net += t0.elapsed().as_nanos() as u64;
     }
 
     /// Merges this worker's tile counters into `total`.
@@ -771,9 +940,9 @@ impl<A: Application> Worker<A> {
     }
 
     /// Total host bytes of this worker's simulation state: the tile
-    /// engines (with their lazily-allocated queue banks), the
-    /// application tile states, DRAM channels, frame telemetry, and
-    /// scratch buffers.
+    /// engines (with their lazily-allocated queue banks), the SoA
+    /// hot-state arrays, the application tile states, DRAM channels,
+    /// frame telemetry, and scratch buffers.
     pub fn state_bytes(&self, app: &A) -> u64 {
         let tiles = self.tiles.capacity() as u64 * std::mem::size_of::<TileEngine>() as u64
             + self.tiles.iter().map(TileEngine::heap_bytes).sum::<u64>();
@@ -786,6 +955,13 @@ impl<A: Application> Worker<A> {
         std::mem::size_of::<Self>() as u64
             + tiles
             + states
+            + self.pu_clock.capacity() as u64 * 8
+            + self.iq_msgs.capacity() as u64 * 4
+            + self.cq_msgs.capacity() as u64 * 4
+            + self.init_pending.capacity() as u64
+            + self.pu_wake.capacity() as u64 * 8
+            + self.cq_wake.capacity() as u64 * 8
+            + self.pu_busy_frame.capacity() as u64 * 4
             + self.channels.capacity() as u64 * std::mem::size_of::<ChannelState>() as u64
             // shared per-worker capacity table, counted once
             + self.tiles.first().map_or(0, |t| t.iq_caps.len() as u64 * 4)
@@ -818,6 +994,9 @@ impl<A: Application> std::fmt::Debug for Worker<A> {
 /// The [`EjectSink`] bridging delivered packets into tile input queues.
 struct IqSink<'a> {
     tiles: &'a mut [TileEngine],
+    iq_msgs: &'a mut [u32],
+    pu_clock: &'a [u64],
+    pus: usize,
     slice: &'a ColSlice,
     msg_count: &'a mut i64,
     delivered: &'a mut u64,
@@ -836,13 +1015,17 @@ impl EjectSink for IqSink<'_> {
         }
         t.mem.queue_write(pkt.payload.len().max(1) as u64);
         t.iqs.q_mut(task).push_back(pkt.payload);
-        t.iq_msgs += 1;
+        self.iq_msgs[local] += 1;
         *self.msg_count += 1;
         *self.delivered += 1;
         // a delivery is the one event that wakes an idle tile
         self.active.activate(local as u32);
         // the delivery may be dispatchable as soon as a PU frees up
-        let pu = t.pu_clock[t.earliest_pu()];
+        let pu = self.pu_clock[local * self.pus..(local + 1) * self.pus]
+            .iter()
+            .copied()
+            .min()
+            .expect("every tile has at least one PU");
         *self.tile_horizon = (*self.tile_horizon).min(self.clock.noc_cycle_for_pu(pu));
         Ok(())
     }
@@ -885,8 +1068,10 @@ pub(crate) fn finish<A: Application>(
 ) -> SimResult {
     let mut counters = SimCounters::default();
     let mut column_activity = vec![0u64; cfg.width() as usize];
+    let mut host_phase_ns = HostPhaseNs::default();
     for w in &workers {
         w.merge_counters(&mut counters);
+        host_phase_ns.merge(&w.phase);
         for (local, t) in w.tiles.iter().enumerate() {
             let col = w.slice.global(local) % cfg.width();
             column_activity[col as usize] += t.counters.tasks_executed;
@@ -937,6 +1122,7 @@ pub(crate) fn finish<A: Application>(
         frames,
         noc_latency,
         host_seconds: host_started.elapsed().as_secs_f64(),
+        host_phase_ns,
         host_threads: threads,
         total_tiles: total as u64,
         host_state_bytes,

@@ -86,4 +86,4 @@ pub use error::SimError;
 pub use frames::{read_spill_jsonl, Frame, FrameLog, FrameSink, FrameSpill};
 pub use horizon::EventHorizon;
 pub use muchisim_noc::{LatencyStats, Payload, ReduceOp};
-pub use tile::SimResult;
+pub use tile::{HostPhaseNs, SimResult};

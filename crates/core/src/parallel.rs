@@ -245,9 +245,7 @@ fn worker_loop<A: Application>(
         let mut cycle = base;
         loop {
             // local phase: everything here touches only worker-owned state
-            for (shard, shared) in shards.iter_mut().zip(shareds) {
-                shard.begin_cycle(shared);
-            }
+            worker.begin_cycle(&mut shards, shareds);
             worker.pu_phase(app, cycle);
             worker.inject_phase(&mut shards, shareds, cycle);
             sync.barrier.wait(&mut sense);

@@ -3,7 +3,6 @@
 use crate::app::OutMsg;
 use crate::counters::{PuCounters, SimCounters};
 use crate::frames::FrameLog;
-use crate::horizon::EventHorizon;
 use crate::queues::LazyQueues;
 use crate::sched::Scheduler;
 use muchisim_config::{SystemConfig, TimePs};
@@ -11,8 +10,15 @@ use muchisim_mem::TileMemory;
 use muchisim_noc::Payload;
 use std::sync::Arc;
 
-/// The engine state of one tile: input queues, channel queues, PU clocks,
-/// TSU scheduler, and the tile's memory model.
+/// The *cold* engine state of one tile: queue banks, TSU scheduler, the
+/// memory model, and event counters.
+///
+/// The scalars the per-cycle sweeps actually read — PU clocks, IQ/CQ
+/// message counts, the init-pending flag, the frame busy counter — live
+/// in dense per-worker arrays indexed by local tile id (see
+/// `Worker` in `engine.rs`), so the active-list drain walks contiguous
+/// memory instead of striding through these structs. What remains here is
+/// touched only when a task dispatches or a message actually moves.
 ///
 /// The layout is deliberately lean — at the paper's million-tile scales
 /// this struct *is* the host memory footprint. Queue banks allocate on
@@ -29,22 +35,12 @@ pub(crate) struct TileEngine {
     /// One channel queue per task type, draining into the NoC.
     /// Allocated on first remote send.
     pub cqs: LazyQueues<OutMsg>,
-    /// Per-PU clock in PU cycles.
-    pub pu_clock: Vec<u64>,
     /// TSU scheduler.
     pub sched: Scheduler,
-    /// Whether this kernel's init task has not yet run.
-    pub init_pending: bool,
     /// The tile's memory model.
     pub mem: TileMemory,
     /// PU event counters for this tile.
     pub counters: PuCounters,
-    /// Messages queued in IQs (cheap activity check).
-    pub iq_msgs: u32,
-    /// Messages queued in CQs.
-    pub cq_msgs: u32,
-    /// PU busy cycles accumulated in the current statistics frame.
-    pub busy_frame: u32,
 }
 
 impl TileEngine {
@@ -58,78 +54,76 @@ impl TileEngine {
             iqs: LazyQueues::new(task_types),
             iq_caps,
             cqs: LazyQueues::new(task_types),
-            pu_clock: vec![0; cfg.pus_per_tile as usize],
             sched,
-            init_pending: false,
             mem: TileMemory::from_system(cfg),
             counters: PuCounters::default(),
-            iq_msgs: 0,
-            cq_msgs: 0,
-            busy_frame: 0,
         }
-    }
-
-    /// Whether the TSU has anything to dispatch.
-    pub fn has_work(&self) -> bool {
-        self.init_pending || self.iq_msgs > 0
-    }
-
-    /// Index of the PU with the earliest clock.
-    pub fn earliest_pu(&self) -> usize {
-        let mut best = 0;
-        for (i, &c) in self.pu_clock.iter().enumerate() {
-            if c < self.pu_clock[best] {
-                best = i;
-            }
-        }
-        best
     }
 
     /// Whether any channel queue exceeds `cap` (send-side backpressure:
-    /// the TSU stalls new dispatches until the NoC drains the CQs).
+    /// the TSU stalls new dispatches until the NoC drains the CQs). The
+    /// caller gates this on its SoA `cq_msgs` count being non-zero.
     pub fn cq_over(&self, cap: u32) -> bool {
-        self.cq_msgs > 0 && self.cqs.as_slice().iter().any(|q| q.len() > cap as usize)
+        self.cqs.as_slice().iter().any(|q| q.len() > cap as usize)
     }
 
-    /// Host heap bytes owned by this tile (queue banks, PU clocks, and
-    /// the memory model; the capacity table and scheduler order are
-    /// shared across tiles and counted once by the worker).
+    /// Host heap bytes owned by this tile (queue banks and the memory
+    /// model; the capacity table and scheduler order are shared across
+    /// tiles, and the SoA hot arrays are per-worker — both counted once
+    /// by the worker).
     pub fn heap_bytes(&self) -> u64 {
         self.iqs.heap_bytes(muchisim_noc::Payload::heap_bytes)
             + self.cqs.heap_bytes(|m| m.payload.heap_bytes())
-            + self.pu_clock.capacity() as u64 * 8
             + self.mem.heap_bytes()
     }
 }
 
-impl EventHorizon for TileEngine {
-    /// PU-clock domain: the earlier of the next possible task dispatch
-    /// (the earliest PU clock, while messages or an init task are
-    /// queued) and the readiness instant of any channel-queue head
-    /// awaiting NoC injection. A tile with empty queues and empty CQs
-    /// has no horizon — it acts again only when a message arrives, and
-    /// arrivals are covered by the network-layer horizons.
-    ///
-    /// This is the *specification* of the tile horizon; for speed the
-    /// driver folds the same quantity incrementally into
-    /// `Worker::tile_horizon` while its phase sweeps already walk the
-    /// tiles (plus an inject-backpressure clamp the sweep observes
-    /// directly). Keep the two in sync when dispatch eligibility
-    /// changes.
-    fn next_event_cycle(&self, now: u64) -> Option<u64> {
-        let mut horizon: Option<u64> = None;
-        if self.has_work() {
-            horizon = Some(self.pu_clock[self.earliest_pu()].max(now));
+/// Host nanoseconds spent in each phase of the simulation driver,
+/// aggregated over all workers and the whole run.
+///
+/// The timers wrap whole phases (coarse-grained monotonic reads, two per
+/// phase per cycle per worker), so their cost is far below one packet
+/// move; they are always on. `worklist` isolates the active-list
+/// bookkeeping inside the swept phases (refresh + retention passes) so
+/// the dense-regime overhead the kill switch recovers is attributed, not
+/// guessed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HostPhaseNs {
+    /// PU phase: TSU dispatch + task execution (`pu_phase`).
+    pub pu: u64,
+    /// Inject phase: CQ and scripted-send drains into the NoC.
+    pub inject: u64,
+    /// NoC phase: cycle-boundary bookkeeping + router stepping.
+    pub net: u64,
+    /// Active-list bookkeeping inside the phases above (already included
+    /// in their totals): worklist refresh and retention passes.
+    pub worklist: u64,
+}
+
+impl HostPhaseNs {
+    /// Folds another worker's phase times into this one.
+    pub fn merge(&mut self, other: &HostPhaseNs) {
+        self.pu += other.pu;
+        self.inject += other.inject;
+        self.net += other.net;
+        self.worklist += other.worklist;
+    }
+
+    /// Total attributed phase time (`worklist` is a sub-slice of the
+    /// other three, not an addend).
+    pub fn total(&self) -> u64 {
+        self.pu + self.inject + self.net
+    }
+
+    /// Fraction of attributed time spent on worklist bookkeeping
+    /// (0 when nothing was attributed).
+    pub fn worklist_share(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.worklist as f64 / total as f64
         }
-        if self.cq_msgs > 0 {
-            for q in self.cqs.as_slice() {
-                if let Some(head) = q.front() {
-                    let c = head.at_pu_cycle.max(now);
-                    horizon = Some(horizon.map_or(c, |h| h.min(c)));
-                }
-            }
-        }
-        horizon
     }
 }
 
@@ -151,6 +145,9 @@ pub struct SimResult {
     pub noc_latency: muchisim_noc::LatencyStats,
     /// Host wall-clock seconds spent simulating.
     pub host_seconds: f64,
+    /// Host nanoseconds by driver phase, summed across workers (the
+    /// built-in phase profiler; see [`HostPhaseNs`]).
+    pub host_phase_ns: HostPhaseNs,
     /// Host threads used.
     pub host_threads: usize,
     /// Tiles simulated.
@@ -247,50 +244,29 @@ mod tests {
     #[test]
     fn fresh_tile_is_idle() {
         let t = tile();
-        assert!(!t.has_work());
-        assert_eq!(t.earliest_pu(), 0);
         assert!(!t.cq_over(4));
+        assert_eq!(t.iqs.as_slice().len(), 0, "queue banks allocate lazily");
     }
 
     #[test]
-    fn earliest_pu_finds_minimum() {
-        let mut t = TileEngine::new(
-            &SystemConfig::builder().pus_per_tile(3).build().unwrap(),
-            1,
-            vec![8].into(),
-            Scheduler::new(SchedulingPolicy::RoundRobin, 1),
-        );
-        t.pu_clock = vec![10, 3, 7];
-        assert_eq!(t.earliest_pu(), 1);
-    }
-
-    #[test]
-    fn tile_horizon_follows_pu_clock_and_cq_heads() {
-        use muchisim_noc::Payload;
-
-        let mut t = tile();
-        assert_eq!(t.next_event_cycle(0), None, "idle tile has no horizon");
-        // queued message with the PU busy until 40: horizon is the PU clock
-        t.iqs.q_mut(0).push_back(Payload::empty());
-        t.iq_msgs = 1;
-        t.pu_clock[0] = 40;
-        assert_eq!(t.next_event_cycle(0), Some(40));
-        // an already-dispatchable message clamps to `now`
-        assert_eq!(t.next_event_cycle(50), Some(50));
-        // a CQ head maturing at 25 comes earlier than the PU clock
-        t.cqs.q_mut(1).push_back(OutMsg {
-            dst: 3,
-            task: 1,
-            payload: Payload::empty(),
-            at_pu_cycle: 25,
-            reduce: None,
-        });
-        t.cq_msgs = 1;
-        assert_eq!(t.next_event_cycle(0), Some(25));
-        // the init task is dispatchable work too
-        let mut fresh = tile();
-        fresh.init_pending = true;
-        assert_eq!(fresh.next_event_cycle(7), Some(7));
+    fn phase_ns_merge_and_shares() {
+        let mut a = HostPhaseNs {
+            pu: 60,
+            inject: 20,
+            net: 20,
+            worklist: 10,
+        };
+        let b = HostPhaseNs {
+            pu: 40,
+            inject: 30,
+            net: 30,
+            worklist: 40,
+        };
+        a.merge(&b);
+        assert_eq!(a.total(), 200);
+        assert!((a.worklist_share() - 0.25).abs() < 1e-12);
+        assert_eq!(HostPhaseNs::default().total(), 0);
+        assert_eq!(HostPhaseNs::default().worklist_share(), 0.0);
     }
 
     #[test]
@@ -302,6 +278,7 @@ mod tests {
             frames: FrameLog::new(100),
             noc_latency: muchisim_noc::LatencyStats::default(),
             host_seconds: 0.01,
+            host_phase_ns: HostPhaseNs::default(),
             host_threads: 1,
             total_tiles: 16,
             host_state_bytes: 4096,

@@ -936,19 +936,34 @@ mod tests {
     }
 
     #[test]
-    fn routers_allocate_lazily_along_the_path() {
+    fn routers_allocate_lazily_and_recycle_when_drained() {
         let mut n = net(8, 8, 1);
         assert_eq!(n.shards[0].allocated_routers(), 0);
-        // a single west-to-east packet along row 0 touches exactly the
-        // routers on its path
+        // a single west-to-east packet along row 0 touches only the
+        // routers on its path; each drained router returns its box to the
+        // shard free-list instead of staying materialized
         n.inject(0, Packet::unicast(0, 7, 0, Payload::empty(), 1))
             .unwrap();
         let mut sink = DrainSink::default();
         run_to_empty(&mut n, &mut sink, 100);
         assert_eq!(
             n.shards[0].allocated_routers(),
-            8,
-            "only the 8 routers of row 0 should be materialized"
+            0,
+            "a drained plane holds no materialized routers"
+        );
+        let pooled = n.shards[0].pooled_routers();
+        assert!(
+            (1..=8).contains(&pooled),
+            "row 0's boxes ({pooled}) are pooled for reuse, never more than the 8 touched"
+        );
+        // a second traversal reuses pooled boxes instead of allocating
+        n.inject(0, Packet::unicast(0, 7, 0, Payload::empty(), 1))
+            .unwrap();
+        run_to_empty(&mut n, &mut sink, 100);
+        assert_eq!(
+            n.shards[0].pooled_routers(),
+            pooled,
+            "steady-state traffic recycles boxes through the pool"
         );
     }
 

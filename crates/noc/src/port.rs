@@ -130,6 +130,20 @@ impl OutDir {
         self as usize
     }
 
+    /// Directions by [`OutDir::index`] (the inverse of `index`; note
+    /// [`OutDir::ALL`] iterates in a different, Eject-first order).
+    pub const BY_INDEX: [OutDir; OUT_DIRS] = [
+        OutDir::N,
+        OutDir::S,
+        OutDir::E,
+        OutDir::W,
+        OutDir::RucheN,
+        OutDir::RucheS,
+        OutDir::RucheE,
+        OutDir::RucheW,
+        OutDir::Eject,
+    ];
+
     /// Whether this is one of the four Ruche directions.
     pub fn is_ruche(self) -> bool {
         matches!(

@@ -1,8 +1,39 @@
-//! Per-router state: input queues, arbitration pointers, link occupancy.
+//! Per-router state: input queues and the in-network combine index.
+//!
+//! The hot per-cycle scalars (`busy_until`, `rr_ptr`, `queued_msgs`) live
+//! in dense per-shard arrays (see [`crate::shard::Shard`]), not here: the
+//! active-router sweep reads them without chasing the
+//! `Vec<Option<Box<RouterState>>>` pointer table, and they survive when a
+//! drained router's box is recycled through the shard's free-list. What
+//! remains in the box is the cold bulk — the packet FIFOs — plus the
+//! bookkeeping that is only touched when a packet actually moves.
 
-use crate::packet::Packet;
-use crate::port::{IN_PORTS, OUT_DIRS};
+use crate::packet::{Packet, ReduceOp};
+use crate::port::IN_PORTS;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::collections::VecDeque;
+
+/// Identity of a reducible packet waiting in one input queue: input port,
+/// destination, task, reduction key (payload word 0), and operator.
+///
+/// [`RouterState::push`] maintains the invariant that at most one queued
+/// packet per signature exists in any input queue — a second arrival
+/// combines into the first instead of enqueueing — so a signature→position
+/// map replaces the old first-match scan of the whole FIFO exactly.
+type CombineSig = (u8, u32, u8, u32, ReduceOp);
+
+/// Whether `pkt` participates in in-network combining at all (mirrors the
+/// self-conditions of [`Packet::can_combine`]).
+#[inline]
+fn combine_sig(port: usize, pkt: &Packet) -> Option<CombineSig> {
+    match pkt.reduce {
+        Some(op) if pkt.payload.len() >= 2 => {
+            Some((port as u8, pkt.dst, pkt.task, pkt.payload.word(0), op))
+        }
+        _ => None,
+    }
+}
 
 /// The mutable state of one router.
 ///
@@ -13,35 +44,54 @@ use std::collections::VecDeque;
 pub struct RouterState {
     /// One FIFO per input port.
     pub queues: [VecDeque<Packet>; IN_PORTS],
-    /// Round-robin arbitration pointer per output direction.
-    pub rr_ptr: [u8; OUT_DIRS],
-    /// Cycle until which each output link is busy serializing flits.
-    pub busy_until: [u64; OUT_DIRS],
-    /// Packets currently queued in this router (cheap emptiness check).
-    pub queued_msgs: u32,
+    /// Bit `p` set ⇔ `queues[p]` is non-empty (the step sweep visits
+    /// occupied ports only, instead of scanning all 13 queue heads).
+    port_mask: u16,
+    /// Pops per port since the last reset (wrapping). Together with a
+    /// queue position this yields a stable sequence number, which is what
+    /// the combine index stores — positions shift on every pop, sequence
+    /// numbers never do.
+    pops: [u32; IN_PORTS],
+    /// Sequence number of the unique queued reducible packet per
+    /// signature: the bounded replacement for scanning the whole input
+    /// FIFO per reducible push.
+    combine: HashMap<CombineSig, u32>,
 }
 
 impl RouterState {
-    /// Whether any packet is queued here.
-    pub fn has_traffic(&self) -> bool {
-        self.queued_msgs > 0
+    /// Whether every input queue is empty.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.port_mask == 0
     }
 
-    /// Pushes a packet into input queue `port`, combining with a queued
-    /// reducible packet when possible.
+    /// Bitmask of non-empty input ports.
+    #[inline]
+    pub fn port_mask(&self) -> u16 {
+        self.port_mask
+    }
+
+    /// Pushes a packet into input queue `port`, combining with the queued
+    /// reducible packet of the same signature when one exists.
     ///
     /// Returns the flits freed by combining (0 if simply enqueued).
     pub fn push(&mut self, port: usize, pkt: Packet) -> u32 {
-        if pkt.reduce.is_some() {
-            for queued in self.queues[port].iter_mut() {
-                if queued.can_combine(&pkt) {
+        if let Some(sig) = combine_sig(port, &pkt) {
+            match self.combine.entry(sig) {
+                Entry::Occupied(slot) => {
+                    let idx = slot.get().wrapping_sub(self.pops[port]) as usize;
+                    let queued = &mut self.queues[port][idx];
+                    debug_assert!(queued.can_combine(&pkt), "combine index out of sync");
                     queued.combine(&pkt);
                     return pkt.flits as u32;
                 }
+                Entry::Vacant(slot) => {
+                    slot.insert(self.pops[port].wrapping_add(self.queues[port].len() as u32));
+                }
             }
         }
-        self.queued_msgs += 1;
         self.queues[port].push_back(pkt);
+        self.port_mask |= 1 << port;
         0
     }
 
@@ -51,14 +101,49 @@ impl RouterState {
     ///
     /// Panics if the queue is empty.
     pub fn pop(&mut self, port: usize) -> Packet {
-        self.queued_msgs -= 1;
-        self.queues[port]
+        let pkt = self.queues[port]
             .pop_front()
-            .expect("pop from empty router queue")
+            .expect("pop from empty router queue");
+        if self.queues[port].is_empty() {
+            self.port_mask &= !(1 << port);
+        }
+        self.pops[port] = self.pops[port].wrapping_add(1);
+        if let Some(sig) = combine_sig(port, &pkt) {
+            // the signature is unique in the queue, so the head is the
+            // indexed instance
+            let seq = self.combine.remove(&sig);
+            debug_assert_eq!(seq, Some(self.pops[port].wrapping_sub(1)));
+        }
+        pkt
+    }
+
+    /// Restores a just-popped packet to the head of queue `port` (eject
+    /// refusal: the tile's input queue had no room, retry next cycle).
+    pub fn restore_front(&mut self, port: usize, pkt: Packet) {
+        self.pops[port] = self.pops[port].wrapping_sub(1);
+        if let Some(sig) = combine_sig(port, &pkt) {
+            let prev = self.combine.insert(sig, self.pops[port]);
+            debug_assert!(prev.is_none(), "restored signature already indexed");
+        }
+        self.queues[port].push_front(pkt);
+        self.port_mask |= 1 << port;
+    }
+
+    /// Resets bookkeeping so a drained router's box can serve another
+    /// router via the shard free-list. Queue and index *capacity* is
+    /// deliberately kept — recycled buffers are the point of the pool.
+    pub(crate) fn reset_for_reuse(&mut self) {
+        debug_assert!(
+            self.queues.iter().all(VecDeque::is_empty),
+            "recycling a router that still holds packets"
+        );
+        debug_assert!(self.combine.is_empty(), "combine index leaked an entry");
+        self.port_mask = 0;
+        self.pops = [0; IN_PORTS];
     }
 
     /// Host heap bytes owned by this router's queues (buffer capacity
-    /// plus spilled payloads).
+    /// plus spilled payloads) and combine index.
     pub fn heap_bytes(&self) -> u64 {
         self.queues
             .iter()
@@ -66,14 +151,15 @@ impl RouterState {
                 q.capacity() as u64 * std::mem::size_of::<Packet>() as u64
                     + q.iter().map(|p| p.payload.heap_bytes()).sum::<u64>()
             })
-            .sum()
+            .sum::<u64>()
+            + self.combine.capacity() as u64 * std::mem::size_of::<(CombineSig, u32)>() as u64
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{Payload, ReduceOp};
+    use crate::packet::Payload;
 
     fn pkt(dst: u32, key: u32, val: u32) -> Packet {
         Packet::unicast(0, dst, 1, Payload::from_slice(&[key, val]), 2)
@@ -85,10 +171,10 @@ mod tests {
         let mut r = RouterState::default();
         r.push(0, Packet::unicast(0, 1, 0, Payload::from_slice(&[1]), 1));
         r.push(0, Packet::unicast(0, 2, 0, Payload::from_slice(&[2]), 1));
-        assert_eq!(r.queued_msgs, 2);
+        assert_eq!(r.port_mask(), 1);
         assert_eq!(r.pop(0).dst, 1);
         assert_eq!(r.pop(0).dst, 2);
-        assert!(!r.has_traffic());
+        assert!(r.is_empty());
     }
 
     #[test]
@@ -97,9 +183,9 @@ mod tests {
         assert_eq!(r.push(0, pkt(9, 7, 10)), 0);
         let freed = r.push(0, pkt(9, 7, 4));
         assert_eq!(freed, 2, "combined packet frees its flits");
-        assert_eq!(r.queued_msgs, 1);
         let head = r.pop(0);
         assert_eq!(head.payload.word(1), 4);
+        assert!(r.is_empty());
     }
 
     #[test]
@@ -107,6 +193,75 @@ mod tests {
         let mut r = RouterState::default();
         r.push(0, pkt(9, 7, 10));
         assert_eq!(r.push(0, pkt(9, 8, 4)), 0);
-        assert_eq!(r.queued_msgs, 2);
+        assert_eq!(r.pop(0).payload.word(0), 7);
+        assert_eq!(r.pop(0).payload.word(0), 8);
+    }
+
+    #[test]
+    fn combine_index_survives_deep_queues_and_pops() {
+        // The satellite regression test: the old implementation walked the
+        // whole FIFO per reducible push (quadratic under dense reduction
+        // traffic); the index must keep behaving identically — first (and
+        // only) same-signature packet combines, at any queue depth, even
+        // after the positions under it shift through pops and restores.
+        let mut r = RouterState::default();
+        // 64 distinct-key reducible packets + one plain packet in front
+        r.push(3, Packet::unicast(0, 9, 1, Payload::from_slice(&[999]), 1));
+        for key in 0..64 {
+            assert_eq!(r.push(3, pkt(9, key, key + 100)), 0);
+        }
+        // a second wave combines into every queued packet, regardless of
+        // how deep it sits
+        for key in 0..64 {
+            assert_eq!(r.push(3, pkt(9, key, 1)), 2, "key {key} must combine");
+        }
+        // shift the queue: pop the plain head and the first 10 reduced
+        // packets, then push a third wave — survivors still combine, the
+        // popped keys re-enqueue
+        assert_eq!(r.pop(3).payload.word(0), 999);
+        for _ in 0..10 {
+            r.pop(3);
+        }
+        for key in 0..64 {
+            let freed = r.push(3, pkt(9, key, 2));
+            if key < 10 {
+                assert_eq!(freed, 0, "popped key {key} re-enqueues");
+            } else {
+                assert_eq!(freed, 2, "queued key {key} still combines");
+            }
+        }
+        // restore-front keeps the index consistent too
+        let head = r.pop(3);
+        let key = head.payload.word(0);
+        r.restore_front(3, head);
+        assert_eq!(r.push(3, pkt(9, key, 3)), 2, "restored head combines");
+    }
+
+    #[test]
+    fn reduce_without_key_words_never_indexes() {
+        // reducible flag but payload < 2 words: can_combine is always
+        // false for these, so they enqueue and never join the index
+        let mut r = RouterState::default();
+        let short =
+            Packet::unicast(0, 9, 1, Payload::from_slice(&[7]), 1).with_reduce(ReduceOp::SumU32);
+        assert_eq!(r.push(0, short.clone()), 0);
+        assert_eq!(r.push(0, short), 0, "second short packet also enqueues");
+        assert_eq!(r.queues[0].len(), 2);
+    }
+
+    #[test]
+    fn reuse_reset_keeps_capacity() {
+        let mut r = RouterState::default();
+        for i in 0..32 {
+            r.push(5, pkt(9, i, i));
+        }
+        let cap_before = r.queues[5].capacity();
+        assert!(cap_before >= 32);
+        while !r.is_empty() {
+            r.pop(5);
+        }
+        r.reset_for_reuse();
+        assert_eq!(r.port_mask(), 0);
+        assert_eq!(r.queues[5].capacity(), cap_before, "buffers are recycled");
     }
 }

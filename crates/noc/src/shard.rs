@@ -9,22 +9,25 @@
 //! router, freed buffer space becomes visible at the next cycle boundary
 //! in both modes, and packets never move in the cycle they arrive.
 //!
-//! Router state is *lazily allocated*: a router that never sees a packet
-//! costs one null pointer, not thirteen input queues. At the paper's
-//! million-tile scales most routers are idle at any instant, so this is
-//! the difference between gigabytes and megabytes of host state. A
-//! router, once touched, stays allocated — its `busy_until` link clocks
-//! must survive idle gaps — which also keeps behavior bit-identical to
-//! the eager layout (a fresh router and a drained router are
-//! indistinguishable to the cycle loop).
+//! Router state is split hot/cold. The per-cycle scalars the sweeps
+//! actually read — `queued_msgs`, `busy_until`, `rr_ptr` — live in dense
+//! arrays indexed by local router id, so the active-router drain walks
+//! contiguous memory. The cold bulk (the 13 packet FIFOs and the combine
+//! index) lives in a lazily materialized `Box<RouterState>`: a router that
+//! never sees a packet costs one null pointer plus a few SoA slots. A
+//! *drained* router returns its box to a per-shard free-list — its link
+//! clocks survive in the SoA arrays (they must: `busy_until` keeps
+//! serializing across idle gaps), while the next router to wake reuses the
+//! box's queue buffers instead of round-tripping the allocator.
 
 use crate::counters::{class_index, NocCounters};
 use crate::latency::LatencyStats;
 use crate::network::{EjectSink, SharedNet};
 use crate::packet::Packet;
-use crate::port::{InPort, OutDir, IN_PORTS};
+use crate::port::{InPort, OutDir, IN_PORTS, OUT_DIRS};
 use crate::route;
 use crate::router::RouterState;
+use crate::topo::{FastDiv, TopoInfo};
 use crate::trace::TraceEvent;
 use crate::worklist::ActiveSet;
 use std::ops::Range;
@@ -45,9 +48,19 @@ fn reserve(occ: &AtomicU32, flits: u32, cap: u32) -> bool {
     .is_ok()
 }
 
-/// Lazily materializes the router at `local`.
-fn router_mut(routers: &mut [Option<Box<RouterState>>], local: usize) -> &mut RouterState {
-    routers[local].get_or_insert_with(Box::default)
+/// Lazily materializes the router at `local`, reusing a pooled box when
+/// one is available.
+///
+/// The pool holds `Box`es (not bare `RouterState`s) so a recycled
+/// router moves back into the `Option<Box<_>>` slot as a pointer, never
+/// memcpying the large queue struct.
+#[allow(clippy::vec_box)]
+fn router_mut<'a>(
+    routers: &'a mut [Option<Box<RouterState>>],
+    pool: &mut Vec<Box<RouterState>>,
+    local: usize,
+) -> &'a mut RouterState {
+    routers[local].get_or_insert_with(|| pool.pop().unwrap_or_default())
 }
 
 /// One column shard of the network.
@@ -55,8 +68,31 @@ fn router_mut(routers: &mut [Option<Box<RouterState>>], local: usize) -> &mut Ro
 pub struct Shard {
     idx: usize,
     cols: Range<u32>,
-    /// Per-router state, `None` until the router first sees a packet.
+    /// Reciprocal divider for the shard's column count (hot: local
+    /// router index → shard-relative coordinates).
+    div_ncols: FastDiv,
+    /// Per-router cold state, `None` while the router holds no packets.
     routers: Vec<Option<Box<RouterState>>>,
+    /// Drained router boxes awaiting reuse: the recycled
+    /// `VecDeque<Packet>` buffers that make steady-state dense traffic
+    /// allocator-free. Boxes on purpose — reuse moves a pointer back
+    /// into the `routers` slot, not the struct.
+    #[allow(clippy::vec_box)]
+    pool: Vec<Box<RouterState>>,
+    /// Packets queued per router (SoA; the worklist's emptiness check).
+    queued_msgs: Vec<u32>,
+    /// Earliest cycle at which each router can possibly move a packet
+    /// (SoA wake cache; a lower bound). Heads within a FIFO ripen
+    /// monotonically and every delivery lowers the bound to the new
+    /// packet's `ready_at`, so strictly before `wake` a step visit is a
+    /// provable no-op and skips without touching the router box.
+    wake: Vec<u64>,
+    /// Cycle until which each output link is busy serializing flits
+    /// (SoA, `local * OUT_DIRS + dir`; survives router recycling).
+    busy_until: Vec<u64>,
+    /// Round-robin arbitration pointer per output direction (SoA,
+    /// `local * OUT_DIRS + dir`; survives router recycling).
+    rr_ptr: Vec<u8>,
     counters: NocCounters,
     /// Injection-to-ejection latency of every packet delivered by this
     /// shard (generation-to-ejection for scheduled traffic).
@@ -67,8 +103,11 @@ pub struct Shard {
     /// heat-map tracking is disabled (verbosity < V2).
     busy_frame: Vec<u32>,
     /// Pushes into this shard's own queues, applied at the next cycle
-    /// boundary (mirrors the mailbox delay of cross-shard pushes).
-    pending_pushes: Vec<(usize, usize, Packet)>,
+    /// boundary (mirrors the mailbox delay of cross-shard pushes). Each
+    /// entry carries `(local router, input port, global queue id, pkt)`;
+    /// the queue id is captured at forward time so `begin_cycle` does
+    /// not re-derive it from coordinates.
+    pending_pushes: Vec<(usize, usize, usize, Packet)>,
     /// Occupancy decrements from this cycle's pops, applied at the next
     /// cycle boundary (credit-return delay; keeps parallel == sequential).
     pending_frees: Vec<(usize, u32)>,
@@ -94,8 +133,14 @@ impl Shard {
         let n = (cols.end - cols.start) as usize * height as usize;
         Shard {
             idx,
+            div_ncols: FastDiv::new(cols.end - cols.start),
             cols,
             routers: (0..n).map(|_| None).collect(),
+            pool: Vec::new(),
+            queued_msgs: vec![0; n],
+            wake: vec![0; n],
+            busy_until: vec![0; n * OUT_DIRS],
+            rr_ptr: vec![0; n * OUT_DIRS],
             counters: NocCounters::default(),
             latency: LatencyStats::default(),
             trace: if record_trace { Some(Vec::new()) } else { None },
@@ -131,33 +176,39 @@ impl Shard {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
-    /// Routers whose state has been materialized (saw at least one
-    /// packet since construction).
+    /// Routers whose cold state is currently materialized (holding at
+    /// least one packet; drained boxes return to the free-list).
     pub fn allocated_routers(&self) -> usize {
         self.routers.iter().filter(|r| r.is_some()).count()
     }
 
-    fn local_idx(&self, tile: u32, width: u32) -> usize {
-        let x = tile % width;
-        let y = tile / width;
+    /// Drained router boxes waiting in the free-list for reuse.
+    pub fn pooled_routers(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn local_of(&self, x: u32, y: u32) -> usize {
         debug_assert!(
             self.cols.contains(&x),
-            "tile {tile} not in shard {}",
+            "column {x} not in shard {}",
             self.idx
         );
         (y * (self.cols.end - self.cols.start) + (x - self.cols.start)) as usize
     }
 
+    fn local_idx(&self, tile: u32, topo: &TopoInfo) -> usize {
+        let (x, y) = topo.coords(tile);
+        self.local_of(x, y)
+    }
+
     fn global_tile(&self, local: usize, width: u32) -> u32 {
-        let ncols = (self.cols.end - self.cols.start) as usize;
-        let y = (local / ncols) as u32;
-        let x = self.cols.start + (local % ncols) as u32;
-        y * width + x
+        let (y, xr) = self.div_ncols.divmod(local as u32);
+        y * width + self.cols.start + xr
     }
 
     /// Whether all queues and pending buffers of this shard are empty.
     pub fn is_drained(&self) -> bool {
-        self.pending_pushes.is_empty() && self.routers.iter().flatten().all(|r| !r.has_traffic())
+        self.pending_pushes.is_empty() && self.queued_msgs.iter().all(|&q| q == 0)
     }
 
     /// The earliest cycle after `now` at which this shard can move a
@@ -175,7 +226,7 @@ impl Shard {
     pub fn next_event_cycle(&self, now: u64) -> Option<u64> {
         let floor = now + 1;
         let mut horizon: Option<u64> = None;
-        for (_, _, pkt) in &self.pending_pushes {
+        for (_, _, _, pkt) in &self.pending_pushes {
             let c = pkt.ready_at.max(floor);
             horizon = Some(horizon.map_or(c, |h| h.min(c)));
         }
@@ -186,17 +237,20 @@ impl Shard {
             if horizon == Some(floor) {
                 return horizon; // cannot get any earlier
             }
-            let Some(r) = self.routers[local as usize].as_deref() else {
-                continue;
-            };
-            if !r.has_traffic() {
+            let local = local as usize;
+            if self.queued_msgs[local] == 0 {
                 continue;
             }
-            for q in &r.queues {
-                if let Some(head) = q.front() {
-                    let c = head.ready_at.max(floor);
-                    horizon = Some(horizon.map_or(c, |h| h.min(c)));
-                }
+            let Some(r) = self.routers[local].as_deref() else {
+                continue;
+            };
+            let mut mask = r.port_mask();
+            while mask != 0 {
+                let port = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let head = r.queues[port].front().expect("mask bit implies a head");
+                let c = head.ready_at.max(floor);
+                horizon = Some(horizon.map_or(c, |h| h.min(c)));
             }
         }
         horizon
@@ -204,13 +258,49 @@ impl Shard {
 
     /// Packets currently queued (including pending pushes).
     pub fn queued_packets(&self) -> u64 {
-        self.pending_pushes.len() as u64
-            + self
-                .routers
-                .iter()
-                .flatten()
-                .map(|r| r.queued_msgs as u64)
-                .sum::<u64>()
+        self.pending_pushes.len() as u64 + self.queued_msgs.iter().map(|&q| q as u64).sum::<u64>()
+    }
+
+    /// Pushes `pkt` into queue `port` of router `local`, maintaining the
+    /// worklist, the per-router packet count, and the occupancy/in-flight
+    /// balance when the push combines (shared by every delivery site).
+    fn deliver(&mut self, shared: &SharedNet, local: usize, qid: usize, port: usize, pkt: Packet) {
+        if pkt.ready_at < self.wake[local] {
+            self.wake[local] = pkt.ready_at;
+        }
+        let freed = router_mut(&mut self.routers, &mut self.pool, local).push(port, pkt);
+        self.active.activate(local as u32);
+        if freed > 0 {
+            shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
+            self.counters.reduce_combines += 1;
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        } else {
+            self.queued_msgs[local] += 1;
+        }
+    }
+
+    /// Opens a batched injection session at `tile`'s local inject queue.
+    ///
+    /// During the driver's local phase the inject queue's occupancy entry
+    /// is touched by this worker alone (frees for it are recorded by this
+    /// same shard and applied at its own `begin_cycle`), so the batch can
+    /// run the admission rule on a local copy and publish one occupancy
+    /// and one in-flight update per run instead of two atomics per
+    /// packet. Dropping the batch without [`InjectBatch::commit`] loses
+    /// those updates; commit is mandatory.
+    pub fn inject_batch<'a>(&'a mut self, shared: &'a SharedNet, tile: u32) -> InjectBatch<'a> {
+        let local = self.local_idx(tile, &shared.topo);
+        let qid = shared.topo.queue_id(tile, InPort::Inject);
+        let occ = shared.occupancy[qid].load(Ordering::Relaxed);
+        InjectBatch {
+            shard: self,
+            shared,
+            local,
+            qid,
+            occ,
+            occ_delta: 0,
+            in_flight_delta: 0,
+        }
     }
 
     /// Injects a packet at `tile`'s local inject queue.
@@ -220,29 +310,10 @@ impl Shard {
     /// Returns the packet back if the inject queue is full (the caller's
     /// channel queue keeps it and retries later).
     pub fn inject(&mut self, shared: &SharedNet, tile: u32, pkt: Packet) -> Result<(), Packet> {
-        let width = shared.topo.width;
-        let qid = shared.topo.queue_id(tile, InPort::Inject);
-        if !reserve(
-            &shared.occupancy[qid],
-            pkt.flits as u32,
-            shared.inject_capacity_flits,
-        ) {
-            return Err(pkt);
-        }
-        if let Some(trace) = &mut self.trace {
-            trace.push(TraceEvent::from_packet(&pkt));
-        }
-        let local = self.local_idx(tile, width);
-        let freed = router_mut(&mut self.routers, local).push(InPort::Inject.index(), pkt);
-        self.active.activate(local as u32);
-        if freed > 0 {
-            shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
-            self.counters.reduce_combines += 1;
-            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-        }
-        self.counters.injected += 1;
-        shared.in_flight.fetch_add(1, Ordering::AcqRel);
-        Ok(())
+        let mut batch = self.inject_batch(shared, tile);
+        let outcome = batch.offer(pkt);
+        batch.commit();
+        outcome
     }
 
     /// Applies deferred frees, deferred local pushes, and drains incoming
@@ -252,18 +323,9 @@ impl Shard {
         for (qid, flits) in self.pending_frees.drain(..) {
             shared.occupancy[qid].fetch_sub(flits, Ordering::Relaxed);
         }
-        let width = shared.topo.width;
         let pushes = std::mem::take(&mut self.pending_pushes);
-        for (local, port, pkt) in pushes {
-            let tile = self.global_tile(local, width);
-            let qid = shared.topo.queue_id(tile, InPort::ALL[port]);
-            let freed = router_mut(&mut self.routers, local).push(port, pkt);
-            self.active.activate(local as u32);
-            if freed > 0 {
-                shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
-                self.counters.reduce_combines += 1;
-                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            }
+        for (local, port, qid, pkt) in pushes {
+            self.deliver(shared, local, qid, port, pkt);
         }
         for producer in 0..shared.num_shards() {
             if producer == self.idx {
@@ -271,15 +333,9 @@ impl Shard {
             }
             let mut inbox = shared.mailbox(self.idx, producer).lock();
             for (tile, port, pkt) in inbox.drain(..) {
-                let local = self.local_idx(tile, width);
+                let local = self.local_idx(tile, &shared.topo);
                 let qid = shared.topo.queue_id(tile, port);
-                let freed = router_mut(&mut self.routers, local).push(port.index(), pkt);
-                self.active.activate(local as u32);
-                if freed > 0 {
-                    shared.occupancy[qid].fetch_sub(freed, Ordering::Relaxed);
-                    self.counters.reduce_combines += 1;
-                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                }
+                self.deliver(shared, local, qid, port.index(), pkt);
             }
         }
     }
@@ -288,8 +344,9 @@ impl Shard {
     ///
     /// The sweep walks the active-router worklist in ascending local
     /// order (bit-identical to the full scan: idle routers are pure
-    /// no-ops) and deactivates routers it leaves drained. With the
-    /// worklist disabled it degrades to the full scan.
+    /// no-ops) and deactivates routers it leaves drained, recycling their
+    /// boxes through the free-list. With the worklist disabled it
+    /// degrades to the full scan.
     pub fn step(&mut self, shared: &SharedNet, cycle: u64, sink: &mut dyn EjectSink) {
         let topo = &shared.topo;
         let width = topo.width;
@@ -298,7 +355,13 @@ impl Shard {
         let Shard {
             idx,
             cols,
+            div_ncols,
             routers,
+            pool,
+            queued_msgs,
+            wake,
+            busy_until,
+            rr_ptr,
             counters,
             latency,
             trace: _,
@@ -310,63 +373,94 @@ impl Shard {
         let ncols = (cols.end - cols.start) as usize;
         let col_start = cols.start;
         active.refresh();
+        // Candidate scratch lives outside the per-router closure: `cand`
+        // and `vc_of` are only ever read at indices the current router
+        // wrote (`n_cand` gates every access), so they carry stale bytes
+        // between routers instead of being re-zeroed ~130 bytes per
+        // visit. `n_cand` alone must start all-zero; the consume loop
+        // below restores that invariant as it reads each entry.
+        let mut cand: [[u8; IN_PORTS]; OUT_DIRS] = [[0; IN_PORTS]; OUT_DIRS];
+        let mut n_cand: [u8; OUT_DIRS] = [0; OUT_DIRS];
+        let mut vc_of: [u8; IN_PORTS] = [0; IN_PORTS];
         active.retain(|local| {
             let local = local as usize;
-            let Some(router) = routers[local].as_deref_mut() else {
-                return false;
-            };
-            if !router.has_traffic() {
+            if queued_msgs[local] == 0 {
                 return false;
             }
+            if wake[local] > cycle {
+                return true; // no head can ripen before `wake`
+            }
+            let router = routers[local]
+                .as_deref_mut()
+                .expect("queued packets imply a materialized router");
             let tile = {
-                let y = (local / ncols) as u32;
-                let x = col_start + (local % ncols) as u32;
-                y * width + x
+                let (y, xr) = div_ncols.divmod(local as u32);
+                y * width + col_start + xr
             };
-            // Compute each ready head's routing decision once.
-            let mut decisions: [Option<route::RouteDecision>; IN_PORTS] = [None; IN_PORTS];
-            for (port, dec) in decisions.iter_mut().enumerate() {
-                if let Some(head) = router.queues[port].front() {
-                    if head.ready_at <= cycle {
-                        *dec = Some(route::decide(
-                            topo,
-                            tile,
-                            InPort::ALL[port],
-                            head.vc,
-                            head.dst,
-                        ));
-                    }
+            // Compute each ready head's routing decision once, visiting
+            // occupied ports only. Candidate lists per direction keep the
+            // ascending port order of the old full scan.
+            let mut ripen = u64::MAX;
+            let mut dirty: u16 = 0;
+            let mut mask = router.port_mask();
+            while mask != 0 {
+                let port = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let head = router.queues[port]
+                    .front()
+                    .expect("mask bit implies a head");
+                if head.ready_at <= cycle {
+                    let d = route::decide(topo, tile, InPort::ALL[port], head.vc, head.dst);
+                    let oi = d.dir.index();
+                    cand[oi][n_cand[oi] as usize] = port as u8;
+                    n_cand[oi] += 1;
+                    vc_of[port] = d.vc;
+                    dirty |= 1 << oi;
+                } else {
+                    ripen = ripen.min(head.ready_at);
                 }
             }
+            if dirty == 0 {
+                // every head is immature: sleep until the earliest ripens
+                wake[local] = ripen;
+                return true;
+            }
+            // stalled heads (busy link, backpressure, eject refusal,
+            // collision losers) retry next cycle
+            wake[local] = cycle + 1;
             let mut moved = false;
-            for out in OutDir::ALL {
-                let oi = out.index();
-                let mut candidates: [usize; IN_PORTS] = [0; IN_PORTS];
-                let mut n_cand = 0;
-                for (port, dec) in decisions.iter().enumerate() {
-                    if dec.map(|d| d.dir) == Some(out) {
-                        candidates[n_cand] = port;
-                        n_cand += 1;
-                    }
-                }
-                if n_cand == 0 {
-                    continue;
-                }
-                if router.busy_until[oi] > cycle {
+            // Visit only directions holding a candidate, in `OutDir::ALL`
+            // order: the Eject bit first (local delivery is never starved
+            // by through traffic), then N..RucheW — which is ascending
+            // index order, exactly the remaining `ALL` entries.
+            while dirty != 0 {
+                let oi = if dirty & (1 << OutDir::Eject.index()) != 0 {
+                    OutDir::Eject.index()
+                } else {
+                    dirty.trailing_zeros() as usize
+                };
+                dirty &= !(1 << oi);
+                let out = OutDir::BY_INDEX[oi];
+                // read-and-clear keeps `n_cand` all-zero for the next
+                // router even on the `continue` paths below
+                let n = std::mem::take(&mut n_cand[oi]) as usize;
+                if busy_until[local * OUT_DIRS + oi] > cycle {
                     continue; // link still serializing a previous message
                 }
-                counters.collisions += (n_cand - 1) as u64;
-                let pick = Self::round_robin_pick(&candidates[..n_cand], router.rr_ptr[oi]);
-                router.rr_ptr[oi] = pick as u8;
+                counters.collisions += (n - 1) as u64;
+                let pick = Self::round_robin_pick(&cand[oi][..n], rr_ptr[local * OUT_DIRS + oi]);
+                rr_ptr[local * OUT_DIRS + oi] = pick;
+                let pick = pick as usize;
                 if out == OutDir::Eject {
                     let pkt = router.pop(pick);
+                    queued_msgs[local] -= 1;
                     let flits = pkt.flits;
                     let born = pkt.born;
                     match sink.offer(tile, pkt) {
                         Ok(()) => {
                             pending_frees
                                 .push((topo.queue_id(tile, InPort::ALL[pick]), flits as u32));
-                            router.busy_until[oi] = cycle + flits as u64;
+                            busy_until[local * OUT_DIRS + oi] = cycle + flits as u64;
                             counters.ejected += 1;
                             latency.record(cycle.saturating_sub(born));
                             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
@@ -374,16 +468,16 @@ impl Shard {
                         }
                         Err(pkt) => {
                             // refused: restore head position
-                            router.queues[pick].push_front(pkt);
-                            router.queued_msgs += 1;
+                            router.restore_front(pick, pkt);
+                            queued_msgs[local] += 1;
                             counters.eject_stalls += 1;
                         }
                     }
                     continue;
                 }
-                let vc = decisions[pick].expect("candidate has decision").vc;
-                let (dest, in_port) = topo
-                    .neighbor(tile, out, vc)
+                let vc = vc_of[pick];
+                let (dest, in_port, class, hop) = topo
+                    .hop_info(tile, out, vc)
                     .expect("routing chose a non-existent link");
                 let qid = topo.queue_id(dest, in_port);
                 let flits = router.queues[pick]
@@ -395,24 +489,21 @@ impl Shard {
                     continue;
                 }
                 let mut pkt = router.pop(pick);
+                queued_msgs[local] -= 1;
                 pending_frees.push((topo.queue_id(tile, InPort::ALL[pick]), flits));
                 pkt.vc = vc;
-                let hop = topo.hop_cycles(tile, out, vc).expect("link exists");
                 pkt.ready_at = cycle + hop + (flits as u64 - 1);
-                router.busy_until[oi] = cycle + flits as u64;
-                let class = topo.link_class(tile, out, vc).expect("link exists");
+                busy_until[local * OUT_DIRS + oi] = cycle + flits as u64;
                 counters.msg_hops += 1;
                 counters.flit_hops_by_class[class_index(class)] += flits as u64;
                 if class == muchisim_config::LinkClass::OnChip {
                     counters.onchip_flit_mm += flits as f64 * topo.hop_wire_mm(out);
                 }
-                let dest_shard = shared.shard_of_col[(dest % width) as usize] as usize;
+                let (dx, dy) = topo.coords(dest);
+                let dest_shard = shared.shard_of_col[dx as usize] as usize;
                 if dest_shard == *idx {
-                    let dlocal = {
-                        let (dx, dy) = (dest % width, dest / width);
-                        (dy * ncols as u32 + (dx - col_start)) as usize
-                    };
-                    pending_pushes.push((dlocal, in_port.index(), pkt));
+                    let dlocal = (dy * ncols as u32 + (dx - col_start)) as usize;
+                    pending_pushes.push((dlocal, in_port.index(), qid, pkt));
                 } else {
                     shared
                         .mailbox(dest_shard, *idx)
@@ -426,18 +517,26 @@ impl Shard {
                     *b += 1;
                 }
             }
-            // keep the router active iff it still holds traffic; stalled
-            // heads (busy link, backpressure, eject refusal) retry next
-            // cycle, so they must stay on the worklist
-            router.has_traffic()
+            // stalled heads (busy link, backpressure, eject refusal) retry
+            // next cycle, so a router with traffic stays on the worklist;
+            // a drained router recycles its box and retires
+            if queued_msgs[local] > 0 {
+                return true;
+            }
+            let mut drained = routers[local].take().expect("materialized above");
+            drained.reset_for_reuse();
+            pool.push(drained);
+            // the next delivery's min() then records its exact ready_at
+            wake[local] = u64::MAX;
+            false
         });
     }
 
-    fn round_robin_pick(candidates: &[usize], last: u8) -> usize {
+    fn round_robin_pick(candidates: &[u8], last: u8) -> u8 {
         // first candidate strictly after `last`, cyclically
         *candidates
             .iter()
-            .find(|&&c| c > last as usize)
+            .find(|&&c| c > last)
             .unwrap_or(&candidates[0])
     }
 
@@ -456,18 +555,21 @@ impl Shard {
         }
     }
 
-    /// Host heap bytes owned by this shard: the router pointer table,
-    /// every materialized router's queues, the busy grid, and the
-    /// pending-push/free buffers.
+    /// Host heap bytes owned by this shard: the router pointer table, the
+    /// SoA hot-state arrays, every materialized or pooled router's
+    /// queues, the busy grid, and the pending-push/free buffers.
     pub fn heap_bytes(&self) -> u64 {
         let ptr = std::mem::size_of::<Option<Box<RouterState>>>() as u64;
+        let per_router =
+            |r: &RouterState| -> u64 { std::mem::size_of::<RouterState>() as u64 + r.heap_bytes() };
         let routers = self.routers.capacity() as u64 * ptr
             + self
                 .routers
                 .iter()
                 .flatten()
-                .map(|r| std::mem::size_of::<RouterState>() as u64 + r.heap_bytes())
-                .sum::<u64>();
+                .map(|r| per_router(r))
+                .sum::<u64>()
+            + self.pool.iter().map(|r| per_router(r)).sum::<u64>();
         let trace = self.trace.as_ref().map_or(0, |t| {
             t.capacity() as u64 * std::mem::size_of::<TraceEvent>() as u64
                 + t.iter()
@@ -476,21 +578,26 @@ impl Shard {
         });
         routers
             + trace
+            + self.pool.capacity() as u64 * ptr
+            + self.queued_msgs.capacity() as u64 * 4
+            + self.wake.capacity() as u64 * 8
+            + self.busy_until.capacity() as u64 * 8
+            + self.rr_ptr.capacity() as u64
             + self.busy_frame.capacity() as u64 * 4
             + self.pending_pushes.capacity() as u64
-                * std::mem::size_of::<(usize, usize, Packet)>() as u64
+                * std::mem::size_of::<(usize, usize, usize, Packet)>() as u64
             + self
                 .pending_pushes
                 .iter()
-                .map(|(_, _, p)| p.payload.heap_bytes())
+                .map(|(_, _, _, p)| p.payload.heap_bytes())
                 .sum::<u64>()
             + self.pending_frees.capacity() as u64 * std::mem::size_of::<(usize, u32)>() as u64
             + self.active.heap_bytes()
     }
 
-    /// Routers currently on the active worklist (all allocated routers
-    /// when the worklist is disabled). Activity telemetry for scheduling
-    /// studies; the cycle loop itself never reads this.
+    /// Routers currently on the active worklist (all traffic-holding
+    /// routers when the worklist is disabled). Activity telemetry for
+    /// scheduling studies; the cycle loop itself never reads this.
     pub fn active_routers(&self) -> usize {
         if self.active.enabled() {
             self.active.active_count()
@@ -502,9 +609,82 @@ impl Shard {
     /// Per-queue occupancy of task-type `_task` packets, for verbosity V3
     /// inspection: total packets queued at `tile`.
     pub fn queued_at(&self, tile: u32, width: u32) -> u32 {
-        self.routers[self.local_idx(tile, width)]
-            .as_ref()
-            .map_or(0, |r| r.queued_msgs)
+        self.queued_msgs[self.local_of(tile % width, tile / width)]
+    }
+}
+
+/// A batched injection session at one tile's inject queue (see
+/// [`Shard::inject_batch`]): admission control runs on a locally cached
+/// occupancy value, and the atomic occupancy/in-flight updates are folded
+/// into one arithmetic update per run at [`InjectBatch::commit`].
+#[derive(Debug)]
+pub struct InjectBatch<'a> {
+    shard: &'a mut Shard,
+    shared: &'a SharedNet,
+    local: usize,
+    qid: usize,
+    /// Local view of `occupancy[qid]`, exact while the batch is open
+    /// (the inject queue is single-writer during the local phase).
+    occ: u32,
+    /// Net occupancy change to publish at commit.
+    occ_delta: i64,
+    /// Net in-flight change to publish at commit.
+    in_flight_delta: i64,
+}
+
+impl InjectBatch<'_> {
+    /// Offers one packet under the same admission rule as
+    /// [`Shard::inject`]: admit iff the queue is empty or `flits` fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back if the inject queue is full.
+    pub fn offer(&mut self, pkt: Packet) -> Result<(), Packet> {
+        let flits = pkt.flits as u32;
+        if !(self.occ == 0 || self.occ + flits <= self.shared.inject_capacity_flits) {
+            return Err(pkt);
+        }
+        self.occ += flits;
+        self.occ_delta += flits as i64;
+        if let Some(trace) = &mut self.shard.trace {
+            trace.push(TraceEvent::from_packet(&pkt));
+        }
+        if pkt.ready_at < self.shard.wake[self.local] {
+            self.shard.wake[self.local] = pkt.ready_at;
+        }
+        let freed = router_mut(&mut self.shard.routers, &mut self.shard.pool, self.local)
+            .push(InPort::Inject.index(), pkt);
+        self.shard.active.activate(self.local as u32);
+        if freed > 0 {
+            self.occ -= freed;
+            self.occ_delta -= i64::from(freed);
+            self.shard.counters.reduce_combines += 1;
+            self.in_flight_delta -= 1;
+        } else {
+            self.shard.queued_msgs[self.local] += 1;
+        }
+        self.shard.counters.injected += 1;
+        self.in_flight_delta += 1;
+        Ok(())
+    }
+
+    /// Publishes the batched occupancy and in-flight deltas.
+    pub fn commit(self) {
+        match self.occ_delta.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                self.shared.occupancy[self.qid].fetch_add(self.occ_delta as u32, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Less => {
+                self.shared.occupancy[self.qid]
+                    .fetch_sub((-self.occ_delta) as u32, Ordering::Relaxed);
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        if self.in_flight_delta != 0 {
+            self.shared
+                .in_flight
+                .fetch_add(self.in_flight_delta, Ordering::AcqRel);
+        }
     }
 }
 
@@ -540,6 +720,7 @@ mod tests {
     fn fresh_shard_allocates_no_routers() {
         let mut shard = Shard::new(0, 0..8, 8, false, false, true);
         assert_eq!(shard.allocated_routers(), 0);
+        assert_eq!(shard.pooled_routers(), 0);
         assert_eq!(shard.active_routers(), 0);
         assert!(shard.is_drained());
         assert_eq!(shard.queued_packets(), 0);

@@ -3,6 +3,47 @@
 use crate::port::{InPort, OutDir, IN_PORTS};
 use muchisim_config::{Hierarchy, LinkClass, NocTopology, SystemConfig, TileCoord};
 
+/// Division by a runtime-constant divisor via the round-up reciprocal:
+/// for `d ≥ 2`, `⌊n·⌈2^64/d⌉ / 2^64⌋ = ⌊n/d⌋` for every `n < 2^32`
+/// (the reciprocal overshoot contributes less than `2^-32 < 1/d`, so
+/// the floor never crosses). The hot sweeps convert a tile id to
+/// coordinates for every routed packet; a hardware `div` costs ~20+
+/// cycles where the multiply-high costs ~4.
+#[derive(Debug, Clone, Copy)]
+pub struct FastDiv {
+    d: u32,
+    /// `⌈2^64 / d⌉`; unused (zero) for `d ≤ 1`.
+    magic: u64,
+}
+
+impl FastDiv {
+    /// Divider for divisor `d ≥ 1`.
+    pub fn new(d: u32) -> Self {
+        debug_assert!(d >= 1, "division by zero");
+        FastDiv {
+            d,
+            magic: if d >= 2 { u64::MAX / d as u64 + 1 } else { 0 },
+        }
+    }
+
+    /// `n / d`.
+    #[inline]
+    pub fn div(self, n: u32) -> u32 {
+        if self.d <= 1 {
+            n
+        } else {
+            ((self.magic as u128 * n as u128) >> 64) as u32
+        }
+    }
+
+    /// `(n / d, n % d)`.
+    #[inline]
+    pub fn divmod(self, n: u32) -> (u32, u32) {
+        let q = self.div(n);
+        (q, n - q * self.d)
+    }
+}
+
 /// Immutable topology data derived from a [`SystemConfig`]: grid shape,
 /// link classes, and per-hop latencies in NoC cycles.
 #[derive(Debug, Clone)]
@@ -29,6 +70,8 @@ pub struct TopoInfo {
     pub extra_cycles_inter_node: u64,
     /// Buffer capacity per input queue, in flits.
     pub queue_capacity_flits: u32,
+    /// Reciprocal divider for `width` (hot: tile id → coordinates).
+    pub div_width: FastDiv,
 }
 
 impl TopoInfo {
@@ -51,6 +94,7 @@ impl TopoInfo {
             extra_cycles_off_package: cfg.hop_extra_cycles(LinkClass::OffPackage),
             extra_cycles_inter_node: cfg.hop_extra_cycles(LinkClass::InterNode),
             queue_capacity_flits: cfg.noc.buffer_depth,
+            div_width: FastDiv::new(cfg.width()),
         }
     }
 
@@ -60,8 +104,10 @@ impl TopoInfo {
     }
 
     /// Coordinates of tile `id`.
+    #[inline]
     pub fn coords(&self, id: u32) -> (u32, u32) {
-        (id % self.width, id / self.width)
+        let (y, x) = self.div_width.divmod(id);
+        (x, y)
     }
 
     /// Tile id at `(x, y)`.
@@ -70,8 +116,9 @@ impl TopoInfo {
     }
 
     /// Column of tile `id` (used for shard assignment).
+    #[inline]
     pub fn col_of(&self, id: u32) -> u32 {
-        id % self.width
+        self.div_width.divmod(id).1
     }
 
     /// The neighbor reached from `cur` via `dir` on virtual channel `vc`,
@@ -79,9 +126,18 @@ impl TopoInfo {
     /// does not exist (mesh edge, or Ruche link leaving the grid).
     pub fn neighbor(&self, cur: u32, dir: OutDir, vc: u8) -> Option<(u32, InPort)> {
         let (x, y) = self.coords(cur);
+        let (dx, dy) = self.neighbor_xy(x, y, dir)?;
+        Some((self.tile_at(dx, dy), InPort::arrival_port(dir, vc)))
+    }
+
+    /// Coordinate form of [`Self::neighbor`]: the destination coordinates
+    /// of the `dir` link out of `(x, y)`, or `None` if the link does not
+    /// exist. Callers that already hold the source coordinates (and need
+    /// the destination's) skip the id → coordinate conversions.
+    fn neighbor_xy(&self, x: u32, y: u32, dir: OutDir) -> Option<(u32, u32)> {
         let torus = self.topology == NocTopology::FoldedTorus;
         let r = self.ruche_factor.unwrap_or(0);
-        let dest = match dir {
+        match dir {
             OutDir::N => {
                 if y > 0 {
                     Some((x, y - 1))
@@ -123,25 +179,25 @@ impl TopoInfo {
             OutDir::RucheE => (r > 0 && x + r < self.width).then(|| (x + r, y)),
             OutDir::RucheW => (r > 0 && x >= r).then(|| (x - r, y)),
             OutDir::Eject => None,
-        }?;
-        Some((self.tile_at(dest.0, dest.1), InPort::arrival_port(dir, vc)))
+        }
     }
 
-    /// The physical link class crossed by hopping from `cur` via `dir`.
-    pub fn link_class(&self, cur: u32, dir: OutDir, vc: u8) -> Option<LinkClass> {
-        let (dest, _) = self.neighbor(cur, dir, vc)?;
+    /// Everything a router needs to move a head flit from `cur` via
+    /// `dir` in one lookup: destination router, arrival port, physical
+    /// link class, and total head-flit hop latency in NoC cycles
+    /// (router traversal + wire + any boundary-crossing extra).
+    ///
+    /// [`Self::neighbor`], [`Self::link_class`] and [`Self::hop_cycles`]
+    /// each re-derive the others' intermediate results; the forwarding
+    /// hot loop calls this once per moved packet instead.
+    pub fn hop_info(&self, cur: u32, dir: OutDir, vc: u8) -> Option<(u32, InPort, LinkClass, u64)> {
         let (cx, cy) = self.coords(cur);
-        let (dx, dy) = self.coords(dest);
-        Some(
-            self.hierarchy
-                .link_class(TileCoord::new(cx, cy), TileCoord::new(dx, dy)),
-        )
-    }
-
-    /// Total hop latency in NoC cycles for the head flit from `cur` via
-    /// `dir` (router traversal + wire + any boundary-crossing extra).
-    pub fn hop_cycles(&self, cur: u32, dir: OutDir, vc: u8) -> Option<u64> {
-        let class = self.link_class(cur, dir, vc)?;
+        let (dx, dy) = self.neighbor_xy(cx, cy, dir)?;
+        let dest = self.tile_at(dx, dy);
+        let in_port = InPort::arrival_port(dir, vc);
+        let class = self
+            .hierarchy
+            .link_class(TileCoord::new(cx, cy), TileCoord::new(dx, dy));
         let extra = match class {
             LinkClass::OnChip => 0,
             LinkClass::DieToDie => self.extra_cycles_d2d,
@@ -159,7 +215,23 @@ impl TopoInfo {
         } else {
             0
         };
-        Some(self.hop_cycles_on_chip + extra + ruche_extra)
+        Some((
+            dest,
+            in_port,
+            class,
+            self.hop_cycles_on_chip + extra + ruche_extra,
+        ))
+    }
+
+    /// The physical link class crossed by hopping from `cur` via `dir`.
+    pub fn link_class(&self, cur: u32, dir: OutDir, vc: u8) -> Option<LinkClass> {
+        self.hop_info(cur, dir, vc).map(|(_, _, class, _)| class)
+    }
+
+    /// Total hop latency in NoC cycles for the head flit from `cur` via
+    /// `dir` (router traversal + wire + any boundary-crossing extra).
+    pub fn hop_cycles(&self, cur: u32, dir: OutDir, vc: u8) -> Option<u64> {
+        self.hop_info(cur, dir, vc).map(|(_, _, _, cycles)| cycles)
     }
 
     /// Wire length in mm of the hop (for on-chip wire energy).

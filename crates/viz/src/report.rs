@@ -41,6 +41,14 @@ pub struct ReportRow {
     pub sim_cycles_per_sec: f64,
     /// Host simulation-state bytes per simulated tile.
     pub host_bytes_per_tile: f64,
+    /// Host nanoseconds spent in the PU phase (built-in phase profiler).
+    pub phase_pu_ns: u64,
+    /// Host nanoseconds spent in the CQ→NoC inject phase.
+    pub phase_inject_ns: u64,
+    /// Host nanoseconds spent stepping the NoC.
+    pub phase_net_ns: u64,
+    /// Host nanoseconds spent on worklist bookkeeping.
+    pub phase_worklist_ns: u64,
 }
 
 impl ReportRow {
@@ -69,6 +77,22 @@ impl ReportRow {
             sim_secs: result.host_seconds,
             sim_cycles_per_sec: result.sim_cycles_per_sec(),
             host_bytes_per_tile: result.bytes_per_tile(),
+            phase_pu_ns: result.host_phase_ns.pu,
+            phase_inject_ns: result.host_phase_ns.inject,
+            phase_net_ns: result.host_phase_ns.net,
+            phase_worklist_ns: result.host_phase_ns.worklist,
+        }
+    }
+
+    /// Worklist bookkeeping as a fraction of attributed host time (0 when
+    /// no phases were recorded).
+    pub fn worklist_share(&self) -> f64 {
+        let total =
+            self.phase_pu_ns + self.phase_inject_ns + self.phase_net_ns + self.phase_worklist_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_worklist_ns as f64 / total as f64
         }
     }
 }
@@ -97,12 +121,13 @@ impl ReportTable {
         let mut out = String::from(
             "config,app,dataset,runtime_s,flops,app_throughput,energy_j,power_w,\
              cost_usd,flops_per_watt,flops_per_dollar,msg_hops,hit_rate,sim_s,\
-             sim_cycles_per_s,host_bytes_per_tile\n",
+             sim_cycles_per_s,host_bytes_per_tile,phase_pu_ns,phase_inject_ns,\
+             phase_net_ns,phase_worklist_ns\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{:.6e},{:.4e},{:.4e},{:.4e},{:.3},{:.2},{:.4e},{:.4e},{},{:.4},{:.3},\
-                 {:.4e},{:.1}\n",
+                 {:.4e},{:.1},{},{},{},{}\n",
                 r.config,
                 r.app,
                 r.dataset,
@@ -118,7 +143,11 @@ impl ReportTable {
                 r.hit_rate,
                 r.sim_secs,
                 r.sim_cycles_per_sec,
-                r.host_bytes_per_tile
+                r.host_bytes_per_tile,
+                r.phase_pu_ns,
+                r.phase_inject_ns,
+                r.phase_net_ns,
+                r.phase_worklist_ns
             ));
         }
         out
@@ -168,7 +197,7 @@ impl ReportTable {
     /// A human-readable aligned table of the key metrics.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8}\n",
+            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>7}\n",
             "config",
             "app",
             "dataset",
@@ -177,11 +206,12 @@ impl ReportTable {
             "power_w",
             "cost_usd",
             "simcyc/s",
-            "B/tile"
+            "B/tile",
+            "wklst%"
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0} {:>10.3e} {:>8.0}\n",
+                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0} {:>10.3e} {:>8.0} {:>7.1}\n",
                 r.config,
                 r.app,
                 r.dataset,
@@ -190,7 +220,8 @@ impl ReportTable {
                 r.power_w,
                 r.cost_usd,
                 r.sim_cycles_per_sec,
-                r.host_bytes_per_tile
+                r.host_bytes_per_tile,
+                r.worklist_share() * 100.0
             ));
         }
         out
@@ -219,6 +250,10 @@ mod tests {
             sim_secs: 0.1,
             sim_cycles_per_sec: 1e6,
             host_bytes_per_tile: 640.0,
+            phase_pu_ns: 3,
+            phase_inject_ns: 2,
+            phase_net_ns: 4,
+            phase_worklist_ns: 1,
         }
     }
 
@@ -231,9 +266,23 @@ mod tests {
         assert!(csv.contains("base,BFS,rmat"));
         assert!(csv.lines().next().unwrap().contains("sim_cycles_per_s"));
         assert!(csv.lines().next().unwrap().contains("host_bytes_per_tile"));
+        assert!(csv.lines().next().unwrap().contains("phase_worklist_ns"));
         let text = t.to_text();
         assert!(text.contains("BFS"));
         assert!(text.contains("B/tile"));
+        assert!(text.contains("wklst%"));
+    }
+
+    #[test]
+    fn worklist_share_of_attributed_time() {
+        let r = row("base", "BFS", 1.0);
+        assert!((r.worklist_share() - 0.1).abs() < 1e-12);
+        let mut z = r;
+        z.phase_pu_ns = 0;
+        z.phase_inject_ns = 0;
+        z.phase_net_ns = 0;
+        z.phase_worklist_ns = 0;
+        assert_eq!(z.worklist_share(), 0.0);
     }
 
     #[test]

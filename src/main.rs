@@ -227,6 +227,16 @@ fn cmd_run(args: Vec<String>) -> i32 {
             result.host_seconds,
             result.host_threads,
         );
+        let ph = &result.host_phase_ns;
+        println!(
+            "telemetry: host phases pu {:.3}s | inject {:.3}s | net {:.3}s | \
+             worklist {:.3}s ({:.1}% of attributed time)",
+            ph.pu as f64 / 1e9,
+            ph.inject as f64 / 1e9,
+            ph.net as f64 / 1e9,
+            ph.worklist as f64 / 1e9,
+            ph.worklist_share() * 100.0,
+        );
     }
     let report = Report::from_counters(&cfg, &result.counters);
     emit(&format!("{}\n", report.to_json()));

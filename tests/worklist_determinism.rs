@@ -5,6 +5,16 @@
 //! exactly the same `runtime_cycles`, counters, and frame log as a run
 //! that sweeps every tile and router each cycle — the worklists may only
 //! skip tiles and routers that provably have nothing to do.
+//!
+//! The SoA hot-state split (dense `pu_clock`/`cq_msgs`/`busy_until`/...
+//! arrays, see ARCHITECTURE.md "Hot-loop memory layout") deliberately has
+//! no AoS fallback to compare against — it is a memory layout, not an
+//! execution mode, so there is no second code path whose results could
+//! diverge. Its behavioral invisibility is pinned the same way as every
+//! layout change: by the golden traces and the mode matrix here staying
+//! bit-identical. The pooled router boxes do have a property suite of
+//! their own (`crates/noc/tests/prop_pool.rs`: recycled vs fresh buffers
+//! are indistinguishable).
 
 use muchisim::apps::{run_benchmark, Benchmark};
 use muchisim::config::{DramConfig, SystemConfig, Verbosity};
