@@ -9,6 +9,7 @@
 //! barrier and the next frontier is replayed from per-tile state.
 
 use crate::common::{arrays, f2w, w2f, GraphData, SyncMode};
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
 use std::sync::Arc;
@@ -154,6 +155,25 @@ impl Application for Bfs {
 
     fn tile_state_bytes(&self, state: &BfsTile) -> u64 {
         state.dist.capacity() as u64 * 4
+    }
+
+    fn snapshot_tile(&self, state: &BfsTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_u32s(out, &state.dist);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut BfsTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let dist = r.u32s()?;
+        if dist.len() != state.dist.len() {
+            return Err(format!(
+                "bfs tile: snapshot has {} vertices, dataset has {}",
+                dist.len(),
+                state.dist.len()
+            ));
+        }
+        state.dist = dist;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[BfsTile]) -> Result<(), String> {
@@ -302,6 +322,24 @@ impl Application for Sssp {
 
     fn tile_state_bytes(&self, state: &SsspTile) -> u64 {
         state.dist.capacity() as u64 * 4 + state.changed.capacity() as u64
+    }
+
+    fn snapshot_tile(&self, state: &SsspTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_f32s(out, &state.dist);
+        snap::put_bools(out, &state.changed);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut SsspTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let dist = r.f32s()?;
+        let changed = r.bools()?;
+        if dist.len() != state.dist.len() || changed.len() != state.changed.len() {
+            return Err("sssp tile: snapshot partition does not match dataset".into());
+        }
+        state.dist = dist;
+        state.changed = changed;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[SsspTile]) -> Result<(), String> {

@@ -16,6 +16,7 @@
 //! the result check uses a relative Frobenius tolerance.
 
 use crate::common::arrays;
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, TaskCtx};
 use muchisim_data::tensor::{fft_in_place, Complex, Tensor3};
 use std::sync::Arc;
@@ -140,6 +141,32 @@ impl Application for Fft3d {
     fn tile_state_bytes(&self, state: &FftTile) -> u64 {
         (state.pencil.capacity() + state.recv.capacity()) as u64
             * std::mem::size_of::<Complex>() as u64
+    }
+
+    fn snapshot_tile(&self, state: &FftTile, out: &mut Vec<u8>) -> Result<(), String> {
+        for line in [&state.pencil, &state.recv] {
+            snap::put_u32(out, line.len() as u32);
+            for c in line {
+                snap::put_f64(out, c.re);
+                snap::put_f64(out, c.im);
+            }
+        }
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut FftTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        for line in [&mut state.pencil, &mut state.recv] {
+            let n = r.u32()? as usize;
+            if n != line.len() {
+                return Err("fft tile: snapshot pencil length does not match".into());
+            }
+            for c in line.iter_mut() {
+                c.re = r.f64()?;
+                c.im = r.f64()?;
+            }
+        }
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[FftTile]) -> Result<(), String> {

@@ -8,6 +8,7 @@
 //! natural candidates for in-network SumU32 reduction.
 
 use crate::common::{arrays, GraphData};
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::{Csr, Partition};
 use std::sync::Arc;
@@ -106,6 +107,21 @@ impl Application for Histogram {
 
     fn tile_state_bytes(&self, state: &HistogramTile) -> u64 {
         state.counts.capacity() as u64 * 4
+    }
+
+    fn snapshot_tile(&self, state: &HistogramTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_u32s(out, &state.counts);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut HistogramTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let counts = r.u32s()?;
+        if counts.len() != state.counts.len() {
+            return Err("histogram tile: snapshot partition does not match dataset".into());
+        }
+        state.counts = counts;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[HistogramTile]) -> Result<(), String> {

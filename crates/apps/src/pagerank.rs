@@ -6,6 +6,7 @@
 //! accumulated contributions into new ranks.
 
 use crate::common::{arrays, f2w, w2f, GraphData};
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
 use std::sync::Arc;
@@ -134,6 +135,24 @@ impl Application for PageRank {
 
     fn tile_state_bytes(&self, state: &PageRankTile) -> u64 {
         (state.rank.capacity() + state.acc.capacity()) as u64 * 4
+    }
+
+    fn snapshot_tile(&self, state: &PageRankTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_f32s(out, &state.rank);
+        snap::put_f32s(out, &state.acc);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut PageRankTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let rank = r.f32s()?;
+        let acc = r.f32s()?;
+        if rank.len() != state.rank.len() || acc.len() != state.acc.len() {
+            return Err("pagerank tile: snapshot partition does not match dataset".into());
+        }
+        state.rank = rank;
+        state.acc = acc;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[PageRankTile]) -> Result<(), String> {

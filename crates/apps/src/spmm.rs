@@ -7,6 +7,7 @@
 //! highlights for performance-per-dollar).
 
 use crate::common::{arrays, f2w, w2f, GraphData};
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, TaskCtx};
 use muchisim_data::Csr;
 use std::sync::Arc;
@@ -117,6 +118,21 @@ impl Application for Spmm {
 
     fn tile_state_bytes(&self, state: &SpmmTile) -> u64 {
         state.y.capacity() as u64 * 4
+    }
+
+    fn snapshot_tile(&self, state: &SpmmTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_f32s(out, &state.y);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut SpmmTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let y = r.f32s()?;
+        if y.len() != state.y.len() {
+            return Err("spmm tile: snapshot partition does not match dataset".into());
+        }
+        state.y = y;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[SpmmTile]) -> Result<(), String> {

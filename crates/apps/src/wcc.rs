@@ -6,6 +6,7 @@
 //! weak connectivity is computed for directed inputs.
 
 use crate::common::{arrays, GraphData, SyncMode};
+use muchisim_core::snapshot as snap;
 use muchisim_core::{Application, GridInfo, ReduceOp, TaskCtx};
 use muchisim_data::Csr;
 use std::sync::Arc;
@@ -148,6 +149,24 @@ impl Application for Wcc {
 
     fn tile_state_bytes(&self, state: &WccTile) -> u64 {
         state.label.capacity() as u64 * 4 + state.changed.capacity() as u64
+    }
+
+    fn snapshot_tile(&self, state: &WccTile, out: &mut Vec<u8>) -> Result<(), String> {
+        snap::put_u32s(out, &state.label);
+        snap::put_bools(out, &state.changed);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut WccTile, bytes: &[u8]) -> Result<(), String> {
+        let mut r = snap::ByteReader::new(bytes);
+        let label = r.u32s()?;
+        let changed = r.bools()?;
+        if label.len() != state.label.len() || changed.len() != state.changed.len() {
+            return Err("wcc tile: snapshot partition does not match dataset".into());
+        }
+        state.label = label;
+        state.changed = changed;
+        r.expect_end()
     }
 
     fn check(&self, tiles: &[WccTile]) -> Result<(), String> {

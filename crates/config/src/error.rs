@@ -49,6 +49,12 @@ pub enum ConfigError {
         /// What is wrong with them.
         why: &'static str,
     },
+    /// The checkpoint options are inconsistent (missing path, zero
+    /// cadence, or combined with an option snapshots cannot capture).
+    Checkpoint {
+        /// What is wrong with them.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -88,6 +94,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "inter-node link multiplexing factor must be non-zero")
             }
             ConfigError::Traffic { why } => write!(f, "invalid traffic parameters: {why}"),
+            ConfigError::Checkpoint { why } => {
+                write!(f, "invalid checkpoint configuration: {why}")
+            }
         }
     }
 }
@@ -112,6 +121,7 @@ mod tests {
             ConfigError::NoDramChannels.to_string(),
             ConfigError::ZeroLinkMux.to_string(),
             ConfigError::Traffic { why: "rate" }.to_string(),
+            ConfigError::Checkpoint { why: "path" }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

@@ -252,6 +252,23 @@ pub struct SystemConfig {
     /// replayed app-free under a different `noc.*` configuration (see the
     /// `muchisim-traffic` crate). `None` disables recording.
     pub noc_trace: Option<String>,
+    /// Checkpoint cadence in NoC cycles: the parallel driver writes a
+    /// full-state snapshot to `checkpoint_path` at the first executed
+    /// cycle at or past each multiple (so time leaping may land the
+    /// snapshot a little late, never early). `None` disables periodic
+    /// checkpointing. Requires `checkpoint_path`; incompatible with
+    /// `frame_budget`, `frame_spill` and `noc_trace`, whose streamed /
+    /// downsampled side state is not captured by snapshots.
+    pub checkpoint_every: Option<u64>,
+    /// Snapshot file path (see `muchisim-core`'s `snapshot` module for
+    /// the format). Writes are atomic (temp file + rename), so the file
+    /// always holds the latest complete snapshot.
+    pub checkpoint_path: Option<String>,
+    /// Resume from `checkpoint_path` if the file exists; start fresh
+    /// when it does not (so one configuration works for both the first
+    /// launch and every relaunch). An existing-but-invalid file is an
+    /// error, never a silent fresh start.
+    pub checkpoint_resume: bool,
     /// Synthetic traffic-generator parameters (used by the traffic
     /// benchmarks; inert for ordinary applications). Sweepable like any
     /// other field: `traffic.pattern=Transpose`, `traffic.rate=0.08`.
@@ -299,6 +316,9 @@ impl Default for SystemConfig {
             frame_budget: None,
             frame_spill: None,
             noc_trace: None,
+            checkpoint_every: None,
+            checkpoint_path: None,
+            checkpoint_resume: false,
             traffic: TrafficParams::default(),
             time_leap: true,
             active_list: true,
@@ -461,6 +481,38 @@ impl SystemConfig {
         }
         if self.inter_node_link_mux == 0 {
             return Err(ConfigError::ZeroLinkMux);
+        }
+        if self.checkpoint_every == Some(0) {
+            return Err(ConfigError::Checkpoint {
+                why: "checkpoint_every must be at least 1 cycle",
+            });
+        }
+        if self.checkpoint_every.is_some() && self.checkpoint_path.is_none() {
+            return Err(ConfigError::Checkpoint {
+                why: "checkpoint_every requires checkpoint_path",
+            });
+        }
+        if self.checkpoint_resume && self.checkpoint_path.is_none() {
+            return Err(ConfigError::Checkpoint {
+                why: "checkpoint_resume requires checkpoint_path",
+            });
+        }
+        if self.checkpoint_every.is_some() || self.checkpoint_resume {
+            if self.frame_budget.is_some() {
+                return Err(ConfigError::Checkpoint {
+                    why: "checkpointing is incompatible with frame_budget",
+                });
+            }
+            if self.frame_spill.is_some() {
+                return Err(ConfigError::Checkpoint {
+                    why: "checkpointing is incompatible with frame_spill",
+                });
+            }
+            if self.noc_trace.is_some() {
+                return Err(ConfigError::Checkpoint {
+                    why: "checkpointing is incompatible with noc_trace",
+                });
+            }
         }
         self.traffic.validate()?;
         Ok(())
@@ -638,6 +690,20 @@ impl SystemConfigBuilder {
     /// Records the NoC injection trace to a JSONL file at `path`.
     pub fn noc_trace(&mut self, path: impl Into<String>) -> &mut Self {
         self.cfg.noc_trace = Some(path.into());
+        self
+    }
+
+    /// Enables periodic checkpointing: a snapshot to `path` roughly
+    /// every `every` NoC cycles.
+    pub fn checkpoint(&mut self, path: impl Into<String>, every: u64) -> &mut Self {
+        self.cfg.checkpoint_path = Some(path.into());
+        self.cfg.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Resumes from `checkpoint_path` when the snapshot file exists.
+    pub fn checkpoint_resume(&mut self, enabled: bool) -> &mut Self {
+        self.cfg.checkpoint_resume = enabled;
         self
     }
 

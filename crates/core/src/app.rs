@@ -321,6 +321,38 @@ pub trait Application: Sync + Send {
     fn tile_state_bytes(&self, _state: &Self::Tile) -> u64 {
         0
     }
+
+    /// Serializes one tile's state into `out` for a checkpoint snapshot
+    /// (see `muchisim_core::snapshot` for the little-endian helpers;
+    /// encode floats via their bit patterns so the round trip is exact).
+    ///
+    /// The default refuses, so applications without the hook fail
+    /// checkpointing with a clean error instead of silently dropping
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the state cannot be serialized.
+    fn snapshot_tile(&self, _state: &Self::Tile, _out: &mut Vec<u8>) -> Result<(), String> {
+        Err(format!(
+            "application '{}' does not support checkpointing (no snapshot_tile hook)",
+            self.name()
+        ))
+    }
+
+    /// Restores one tile's state from a [`Application::snapshot_tile`]
+    /// blob, overwriting `state` (which was freshly built by
+    /// [`Application::make_tile`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the decode failure.
+    fn restore_tile(&self, _state: &mut Self::Tile, _bytes: &[u8]) -> Result<(), String> {
+        Err(format!(
+            "application '{}' does not support checkpointing (no restore_tile hook)",
+            self.name()
+        ))
+    }
 }
 
 #[cfg(test)]

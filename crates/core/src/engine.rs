@@ -11,8 +11,8 @@ use crate::tile::{HostPhaseNs, SimResult, TileEngine};
 use muchisim_config::{MemoryConfig, SchedulingPolicy, SystemConfig, TimePs, Verbosity};
 use muchisim_mem::{ChannelMap, ChannelState};
 use muchisim_noc::{
-    split_by_activity, split_columns, ActiveSet, EjectSink, Network, NetworkParams, Packet,
-    Payload, Shard, SharedNet,
+    split_by_activity, split_columns, ActiveSet, EjectSink, InPort, Network, NetworkParams, OutDir,
+    Packet, Payload, Shard, SharedNet,
 };
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,11 +105,20 @@ impl<A: Application> Simulation<A> {
     /// Runs with up to `threads` host threads, one column slice each
     /// (paper §III-C). Results are bit-identical to [`Simulation::run`].
     ///
+    /// When `SystemConfig::checkpoint_resume` is set and the checkpoint
+    /// file exists, the run restores the snapshot and continues from its
+    /// cycle (bit-identically to the uninterrupted run, under *any*
+    /// thread count); a missing file starts from scratch. When
+    /// `SystemConfig::checkpoint_every` is set, snapshots are written
+    /// periodically during the run.
+    ///
     /// # Errors
     ///
     /// See [`Simulation::run`]; additionally returns
     /// [`SimError::FrameSpill`] when `SystemConfig::frame_spill` names a
-    /// path that cannot be created.
+    /// path that cannot be created, and [`SimError::Snapshot`] when a
+    /// checkpoint file is corrupt, incompatible with this configuration,
+    /// or cannot be written.
     pub fn run_parallel(self, threads: usize) -> Result<SimResult, SimError> {
         let spill = match &self.cfg.frame_spill {
             Some(path) => Some(
@@ -118,19 +127,43 @@ impl<A: Application> Simulation<A> {
             ),
             None => None,
         };
-        let setup = SimSetup::build(
+        // a resume with no file yet is a fresh start (first run of a
+        // restartable job); an existing-but-unreadable file is an error
+        let snap = match (&self.cfg.checkpoint_path, self.cfg.checkpoint_resume) {
+            (Some(path), true) if std::path::Path::new(path).exists() => {
+                Some(crate::snapshot::read_snapshot(path)?)
+            }
+            _ => None,
+        };
+        let mut setup = SimSetup::build(
             &self.cfg,
             &self.app,
             threads,
             self.boundaries.as_deref(),
             spill,
         );
+        let resume = match &snap {
+            Some(data) => {
+                validate_snapshot(&self.cfg, &self.app, data)?;
+                for (widx, w) in setup.workers.iter_mut().enumerate() {
+                    w.restore_from_snapshot(&self.app, data, widx)?;
+                }
+                restore_networks(&mut setup.networks, data)?;
+                Some(crate::parallel::ResumeState {
+                    kernel: data.kernel,
+                    cycle: data.cycle,
+                    base: data.base,
+                })
+            }
+            None => None,
+        };
         crate::parallel::drive(
             &self.cfg,
             &self.app,
             setup,
             self.cycle_limit,
             self.stop_at_limit,
+            resume,
         )
     }
 
@@ -980,6 +1013,350 @@ impl<A: Application> Worker<A> {
                 })
                 .sum::<u64>()
     }
+
+    /// Streams this worker's checkpoint chunk directly into `buf`, in the
+    /// exact [`crate::snapshot::WorkerChunk`] wire format, without
+    /// materializing the intermediate record structs. This is the hot
+    /// path behind periodic checkpoints: on a 65k-tile grid the
+    /// struct-based path performs hundreds of thousands of short-lived
+    /// allocations per snapshot (queue clones, per-tile vectors, a frame
+    /// log copy), which dominates the checkpoint cost; writing straight
+    /// from engine state into a reused buffer removes all of them. Must
+    /// be called at the post-`begin_cycle` quiescent point of `cycle`.
+    /// `debug_assert`-checked against [`Self::snapshot_chunk`]`.encode()`
+    /// in the parallel driver, so every debug-mode checkpoint test proves
+    /// the two encoders agree byte for byte.
+    pub(crate) fn encode_chunk_into(
+        &self,
+        app: &A,
+        shards: &[&mut Shard],
+        cycle: u64,
+        buf: &mut Vec<u8>,
+    ) -> Result<(), String> {
+        use crate::snapshot as snap;
+        let width = self.grid.width;
+        snap::put_u64(buf, self.max_pu_fs);
+        snap::put_u64(buf, self.frame_tasks);
+        snap::put_u64(buf, self.frame_injected);
+        snap::put_u64(buf, self.frame_ejected);
+        snap::put_frame_log(buf, self.frames.log());
+        snap::put_u32(buf, shards.len() as u32);
+        for sh in shards {
+            snap::put_noc_counters(buf, sh.counters());
+            snap::put_latency(buf, sh.latency());
+            let packets = sh.snapshot_packets(width);
+            snap::put_u32(buf, packets.len() as u32);
+            for (tile, port, pkt) in packets {
+                snap::put_u32(buf, tile);
+                snap::put_u8(buf, port);
+                snap::put_packet(buf, pkt);
+            }
+            let links = sh.snapshot_links(width, cycle);
+            snap::put_u32(buf, links.len() as u32);
+            for (tile, dir, until) in links {
+                snap::put_u32(buf, tile);
+                snap::put_u8(buf, dir);
+                snap::put_u64(buf, until);
+            }
+            let rr = sh.snapshot_rr(width);
+            snap::put_u32(buf, rr.len() as u32);
+            for (tile, dir, v) in rr {
+                snap::put_u32(buf, tile);
+                snap::put_u8(buf, dir);
+                snap::put_u8(buf, v);
+            }
+            let busy = sh.snapshot_busy_frame(width);
+            snap::put_u32(buf, busy.len() as u32);
+            for (tile, v) in busy {
+                snap::put_u32(buf, tile);
+                snap::put_u32(buf, v);
+            }
+        }
+        snap::put_u32(buf, self.tiles.len() as u32);
+        for (local, t) in self.tiles.iter().enumerate() {
+            let tile_g = self.slice.global(local);
+            snap::put_u32(buf, tile_g);
+            snap::put_bool(buf, self.init_pending[local]);
+            snap::put_u32(buf, self.pu_busy_frame[local]);
+            snap::put_u8(buf, t.sched.rr_last());
+            snap::put_u64s(
+                buf,
+                &self.pu_clock[local * self.pus..(local + 1) * self.pus],
+            );
+            snap::put_pu_counters(buf, &t.counters);
+            snap::put_mem_counters(buf, t.mem.counters());
+            match t.mem.snapshot_cache() {
+                Some(json) => snap::put_bytes(buf, json.as_bytes()),
+                None => snap::put_u32(buf, 0),
+            }
+            let iqs = t.iqs.as_slice();
+            snap::put_u32(buf, iqs.len() as u32);
+            for q in iqs {
+                snap::put_u32(buf, q.len() as u32);
+                for p in q {
+                    snap::put_payload(buf, p);
+                }
+            }
+            let cqs = t.cqs.as_slice();
+            snap::put_u32(buf, cqs.len() as u32);
+            for q in cqs {
+                snap::put_u32(buf, q.len() as u32);
+                for m in q {
+                    snap::put_out_msg(buf, m);
+                }
+            }
+            match self.scripted.get(local) {
+                Some(q) => {
+                    snap::put_u32(buf, q.len() as u32);
+                    for s in q {
+                        snap::put_scheduled_send(buf, s);
+                    }
+                }
+                None => snap::put_u32(buf, 0),
+            }
+            // app blob: reserve the length prefix, let the app append in
+            // place, then patch the prefix with the appended size
+            let at = buf.len();
+            snap::put_u32(buf, 0);
+            app.snapshot_tile(&self.states[local], buf)
+                .map_err(|e| format!("tile {tile_g}: {e}"))?;
+            let len = (buf.len() - at - 4) as u32;
+            buf[at..at + 4].copy_from_slice(&len.to_le_bytes());
+        }
+        // only the owning worker ever advances a channel's clock; the
+        // other workers' copies stay at zero, so non-zero == owned
+        let n_ch = self
+            .channels
+            .iter()
+            .filter(|ch| ch.transactions != 0)
+            .count();
+        snap::put_u32(buf, n_ch as u32);
+        for (id, ch) in self.channels.iter().enumerate() {
+            if ch.transactions != 0 {
+                snap::put_u32(buf, id as u32);
+                snap::put_u64(buf, ch.transactions);
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles this worker's checkpoint chunk: every tile's dynamic
+    /// state, every owned NoC shard's queued packets and link clocks, the
+    /// owned DRAM channels, and the open-frame telemetry. Must be called
+    /// at the post-`begin_cycle` quiescent point of `cycle`.
+    ///
+    /// The live driver streams chunks through [`Self::encode_chunk_into`]
+    /// instead; this reference builder survives as the debug-mode
+    /// cross-check oracle (and the encode/decode round-trip tests).
+    #[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))]
+    pub(crate) fn snapshot_chunk(
+        &self,
+        app: &A,
+        shards: &[&mut Shard],
+        cycle: u64,
+    ) -> Result<crate::snapshot::WorkerChunk, String> {
+        use crate::snapshot::{PlaneRecord, TileRecord, WorkerChunk};
+        let width = self.grid.width;
+        let planes: Vec<PlaneRecord> = shards
+            .iter()
+            .map(|sh| PlaneRecord {
+                counters: *sh.counters(),
+                latency: sh.latency().clone(),
+                packets: sh
+                    .snapshot_packets(width)
+                    .into_iter()
+                    .map(|(tile, port, pkt)| (tile, port, pkt.clone()))
+                    .collect(),
+                links: sh.snapshot_links(width, cycle),
+                rr: sh.snapshot_rr(width),
+                busy_frame: sh.snapshot_busy_frame(width),
+            })
+            .collect();
+        let mut tiles = Vec::with_capacity(self.tiles.len());
+        for (local, t) in self.tiles.iter().enumerate() {
+            let tile_g = self.slice.global(local);
+            let mut app_bytes = Vec::new();
+            app.snapshot_tile(&self.states[local], &mut app_bytes)
+                .map_err(|e| format!("tile {tile_g}: {e}"))?;
+            tiles.push(TileRecord {
+                tile: tile_g,
+                init_pending: self.init_pending[local],
+                pu_busy_frame: self.pu_busy_frame[local],
+                rr_last: t.sched.rr_last(),
+                pu_clock: self.pu_clock[local * self.pus..(local + 1) * self.pus].to_vec(),
+                pu: t.counters,
+                mem: *t.mem.counters(),
+                cache: t.mem.snapshot_cache(),
+                iqs: t
+                    .iqs
+                    .as_slice()
+                    .iter()
+                    .map(|q| q.iter().cloned().collect())
+                    .collect(),
+                cqs: t
+                    .cqs
+                    .as_slice()
+                    .iter()
+                    .map(|q| q.iter().cloned().collect())
+                    .collect(),
+                scripted: self
+                    .scripted
+                    .get(local)
+                    .map(|q| q.iter().cloned().collect())
+                    .unwrap_or_default(),
+                app: app_bytes,
+            });
+        }
+        // only the owning worker ever advances a channel's clock; the
+        // other workers' copies stay at zero, so non-zero == owned
+        let channels = self
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|&(_, ch)| ch.transactions != 0)
+            .map(|(id, ch)| (id as u32, ch.transactions))
+            .collect();
+        Ok(WorkerChunk {
+            max_pu_fs: self.max_pu_fs,
+            frame_tasks: self.frame_tasks,
+            frame_injected: self.frame_injected,
+            frame_ejected: self.frame_ejected,
+            frames: self.frames.log().clone(),
+            planes,
+            tiles,
+            channels,
+        })
+    }
+
+    /// Overwrites this worker's dynamic state from a validated snapshot
+    /// (the tile layer only; NoC shards are restored separately through
+    /// [`restore_networks`]). The derived caches — message counts, wake
+    /// caches, the active worklist — are recomputed rather than
+    /// deserialized: a zero wake cache is a conservative lower bound and
+    /// `activate_all` is a superset of the live worklist, both of which
+    /// the sweeps resolve bit-identically on the first cycle.
+    pub(crate) fn restore_from_snapshot(
+        &mut self,
+        app: &A,
+        snap: &crate::snapshot::SnapshotData,
+        widx: usize,
+    ) -> Result<(), SimError> {
+        let fail = |why: String| SimError::Snapshot(why);
+        self.kernel = snap.kernel;
+        for local in 0..self.tiles.len() {
+            let g = self.slice.global(local);
+            let rec = &snap.tiles[g as usize];
+            if rec.pu_clock.len() != self.pus {
+                return Err(fail(format!(
+                    "tile {g}: snapshot has {} PU clocks, configuration has {}",
+                    rec.pu_clock.len(),
+                    self.pus
+                )));
+            }
+            self.init_pending[local] = rec.init_pending;
+            self.pu_busy_frame[local] = rec.pu_busy_frame;
+            self.pu_clock[local * self.pus..(local + 1) * self.pus].copy_from_slice(&rec.pu_clock);
+            let t = &mut self.tiles[local];
+            let ntasks = t.iqs.len();
+            if rec.iqs.len() > ntasks || rec.cqs.len() > ntasks {
+                return Err(fail(format!(
+                    "tile {g}: snapshot declares more task types than the application"
+                )));
+            }
+            t.sched.set_rr_last(rec.rr_last);
+            t.counters = rec.pu;
+            t.mem.restore_counters(rec.mem);
+            if let Some(json) = &rec.cache {
+                t.mem
+                    .restore_cache(json)
+                    .map_err(|e| fail(format!("tile {g}: {e}")))?;
+            }
+            let mut iq_total = 0u32;
+            for (task, q) in rec.iqs.iter().enumerate() {
+                iq_total += q.len() as u32;
+                for p in q {
+                    t.iqs.q_mut(task).push_back(p.clone());
+                }
+            }
+            self.iq_msgs[local] = iq_total;
+            let mut cq_total = 0u32;
+            for (task, q) in rec.cqs.iter().enumerate() {
+                cq_total += q.len() as u32;
+                for m in q {
+                    t.cqs.q_mut(task).push_back(m.clone());
+                }
+            }
+            self.cq_msgs[local] = cq_total;
+            if !self.scripted.is_empty() {
+                self.scripted[local] = rec.scripted.iter().cloned().collect();
+            } else if !rec.scripted.is_empty() {
+                return Err(fail(format!(
+                    "tile {g}: snapshot carries scheduled sends the application does not \
+                     declare"
+                )));
+            }
+            app.restore_tile(&mut self.states[local], &rec.app)
+                .map_err(|e| fail(format!("tile {g}: {e}")))?;
+        }
+        // pending-work count: init tasks + queued messages + (during
+        // kernel 0) the open scripted timetables, exactly mirroring what
+        // `start_kernel` + the phase decrements would have left behind
+        let mut count = 0i64;
+        for local in 0..self.tiles.len() {
+            count += i64::from(self.init_pending[local]);
+            count += i64::from(self.iq_msgs[local]) + i64::from(self.cq_msgs[local]);
+        }
+        if snap.kernel == 0 {
+            count += self.scripted.iter().map(|q| q.len() as i64).sum::<i64>();
+        }
+        self.msg_count = count;
+        // the snapshot's open-frame scalars and captured frames are
+        // global; worker 0 adopts them whole and the others contribute
+        // zero-delta placeholders, so the positional frame merge at
+        // `finish` reconstructs the same log an uninterrupted run keeps
+        if widx == 0 {
+            self.max_pu_fs = snap.max_pu_fs;
+            self.frame_tasks = snap.frame_tasks;
+            self.frame_injected = snap.frame_injected;
+            self.frame_ejected = snap.frame_ejected;
+            for f in &snap.frames.frames {
+                self.frames.push(f.clone());
+            }
+        } else {
+            for f in &snap.frames.frames {
+                self.frames.push(Frame {
+                    start_cycle: f.start_cycle,
+                    ..Default::default()
+                });
+            }
+        }
+        if let Some(map) = self.channel_map {
+            if !snap.channels.is_empty() {
+                let mut owned = vec![false; self.channels.len()];
+                for tile in self.slice.iter_tiles() {
+                    let (x, y) = (tile % self.grid.width, tile / self.grid.width);
+                    owned[map.channel_of(x, y) as usize] = true;
+                }
+                for &(id, tx) in &snap.channels {
+                    match owned.get(id as usize) {
+                        Some(true) => self.channels[id as usize].transactions = tx,
+                        Some(false) => {}
+                        None => {
+                            return Err(fail(format!(
+                                "channel record {id} outside the {} configured channels",
+                                self.channels.len()
+                            )))
+                        }
+                    }
+                }
+            }
+        }
+        // every tile with restored work must be on the worklist; a
+        // superset is exact (idle tiles retire on the first retention
+        // pass without observable effect)
+        self.active.activate_all();
+        Ok(())
+    }
 }
 
 impl<A: Application> std::fmt::Debug for Worker<A> {
@@ -1129,6 +1506,147 @@ pub(crate) fn finish<A: Application>(
         check_error,
         column_activity,
     }
+}
+
+/// Rejects a snapshot whose identity header disagrees with the run being
+/// resumed. The rule is strict equality — same configuration hash, same
+/// application name, same grid, same kernel count — because a snapshot
+/// only replays bit-identically against the exact deterministic inputs
+/// it was taken under.
+pub(crate) fn validate_snapshot<A: Application>(
+    cfg: &SystemConfig,
+    app: &A,
+    snap: &crate::snapshot::SnapshotData,
+) -> Result<(), SimError> {
+    let fail = |why: String| Err(SimError::Snapshot(why));
+    let want_hash = crate::snapshot::config_hash(cfg);
+    if snap.config_hash != want_hash {
+        return fail(format!(
+            "snapshot was taken under a different configuration (hash {:#018x}, expected \
+             {:#018x})",
+            snap.config_hash, want_hash
+        ));
+    }
+    if snap.app_name != app.name() {
+        return fail(format!(
+            "snapshot belongs to application `{}`, not `{}`",
+            snap.app_name,
+            app.name()
+        ));
+    }
+    if (snap.width, snap.height) != (cfg.width(), cfg.height()) {
+        return fail(format!(
+            "snapshot grid {}x{} does not match the configured {}x{}",
+            snap.width,
+            snap.height,
+            cfg.width(),
+            cfg.height()
+        ));
+    }
+    if snap.pus != cfg.pus_per_tile {
+        return fail(format!(
+            "snapshot has {} PUs per tile, configuration has {}",
+            snap.pus, cfg.pus_per_tile
+        ));
+    }
+    if snap.planes != cfg.noc.num_physical.max(1) {
+        return fail(format!(
+            "snapshot has {} NoC planes, configuration has {}",
+            snap.planes,
+            cfg.noc.num_physical.max(1)
+        ));
+    }
+    if snap.task_types != app.task_types() {
+        return fail(format!(
+            "snapshot has {} task types, application declares {}",
+            snap.task_types,
+            app.task_types()
+        ));
+    }
+    if snap.kernels != app.kernels() {
+        return fail(format!(
+            "snapshot has {} kernels, application declares {}",
+            snap.kernels,
+            app.kernels()
+        ));
+    }
+    if snap.kernel >= snap.kernels {
+        return fail(format!(
+            "snapshot cursor is at kernel {} of {}",
+            snap.kernel, snap.kernels
+        ));
+    }
+    if snap.cycle < snap.base {
+        return fail(format!(
+            "snapshot cycle {} precedes its kernel base {}",
+            snap.cycle, snap.base
+        ));
+    }
+    Ok(())
+}
+
+/// Replays a validated snapshot's NoC state — queued packets, busy link
+/// clocks, arbiter round-robin cursors, frame telemetry — into freshly
+/// built networks. Occupancy, in-flight, and wake bookkeeping are
+/// recomputed by [`Shard::restore_packet`] rather than deserialized.
+pub(crate) fn restore_networks(
+    networks: &mut [Network],
+    snap: &crate::snapshot::SnapshotData,
+) -> Result<(), SimError> {
+    let fail = |why: String| Err(SimError::Snapshot(why));
+    let total_tiles = snap.width as u64 * snap.height as u64;
+    for (plane, net) in networks.iter_mut().enumerate() {
+        let Some(rec) = snap.planes_state.get(plane) else {
+            return fail(format!("snapshot is missing NoC plane {plane}"));
+        };
+        let (shared, shards) = net.split();
+        // the plane-wide counters were captured merged; fold them back
+        // into shard 0 so the final cross-shard merge reproduces them
+        shards[0].restore_counters(&rec.counters, &rec.latency);
+        for (tile, port, pkt) in &rec.packets {
+            if u64::from(*tile) >= total_tiles {
+                return fail(format!(
+                    "plane {plane}: packet parked at tile {tile}, outside the grid"
+                ));
+            }
+            let Some(&in_port) = InPort::ALL.get(*port as usize) else {
+                return fail(format!(
+                    "plane {plane}: packet at tile {tile} names input port {port}, which \
+                     does not exist"
+                ));
+            };
+            let shard = shared.shard_of_col[(*tile % snap.width) as usize];
+            shards[shard as usize].restore_packet(shared, *tile, in_port, pkt.clone());
+        }
+        for &(tile, dir, until) in &rec.links {
+            if u64::from(tile) >= total_tiles || dir as usize >= OutDir::ALL.len() {
+                return fail(format!(
+                    "plane {plane}: link record ({tile}, {dir}) is out of range"
+                ));
+            }
+            let shard = shared.shard_of_col[(tile % snap.width) as usize];
+            shards[shard as usize].restore_link(&shared.topo, tile, dir, until);
+        }
+        for &(tile, dir, val) in &rec.rr {
+            if u64::from(tile) >= total_tiles || dir as usize >= OutDir::ALL.len() {
+                return fail(format!(
+                    "plane {plane}: arbiter record ({tile}, {dir}) is out of range"
+                ));
+            }
+            let shard = shared.shard_of_col[(tile % snap.width) as usize];
+            shards[shard as usize].restore_rr(&shared.topo, tile, dir, val);
+        }
+        for &(tile, val) in &rec.busy_frame {
+            if u64::from(tile) >= total_tiles {
+                return fail(format!(
+                    "plane {plane}: busy-frame record for tile {tile} is out of range"
+                ));
+            }
+            let shard = shared.shard_of_col[(tile % snap.width) as usize];
+            shards[shard as usize].restore_busy_frame(&shared.topo, tile, val);
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -38,6 +38,13 @@ pub enum SimError {
         /// Description of the I/O failure.
         String,
     ),
+    /// A checkpoint snapshot could not be written, read, or validated
+    /// (I/O failure, corruption, version mismatch, or a configuration
+    /// that does not match the snapshot).
+    Snapshot(
+        /// Description of the failure.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -62,6 +69,7 @@ impl fmt::Display for SimError {
             SimError::CheckFailed(why) => write!(f, "result check failed: {why}"),
             SimError::FrameSpill(why) => write!(f, "frame spill failed: {why}"),
             SimError::Trace(why) => write!(f, "NoC trace failed: {why}"),
+            SimError::Snapshot(why) => write!(f, "snapshot failed: {why}"),
         }
     }
 }
@@ -93,6 +101,9 @@ mod tests {
             .contains("boom"));
         let e = SimError::Config(ConfigError::NoPus);
         assert!(e.to_string().contains("invalid configuration"));
+        assert!(SimError::Snapshot("bad magic".into())
+            .to_string()
+            .contains("snapshot failed: bad magic"));
     }
 
     #[test]

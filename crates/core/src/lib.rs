@@ -69,6 +69,7 @@
 
 mod app;
 mod counters;
+pub mod digest;
 mod engine;
 mod error;
 mod frames;
@@ -77,6 +78,7 @@ mod parallel;
 mod queues;
 mod sched;
 mod slice;
+pub mod snapshot;
 mod tile;
 
 pub use app::{Application, GridInfo, OutMsg, ScheduledSend, SoftwareConfig, TaskCtx};

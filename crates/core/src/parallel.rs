@@ -120,6 +120,45 @@ impl SyncState {
     }
 }
 
+/// Where a restored run re-enters the cycle loop: the snapshot's kernel,
+/// the cycle it was taken at, and that kernel's base cycle.
+#[derive(Clone, Copy)]
+pub(crate) struct ResumeState {
+    /// Kernel index the snapshot was taken in.
+    pub kernel: u32,
+    /// Cycle to re-enter the loop at (post-`begin_cycle` capture point).
+    pub cycle: u64,
+    /// The kernel's base cycle (restores the per-kernel cycle-limit
+    /// accounting).
+    pub base: u64,
+}
+
+/// Shared state for periodic snapshot writes: each worker deposits its
+/// encoded chunk, then the barrier leader assembles and writes the file.
+struct CheckpointState {
+    /// Snapshot cadence in NoC cycles.
+    every: u64,
+    /// Snapshot file path (written atomically via a temp file).
+    path: String,
+    /// The pre-encoded identity header, identical for every snapshot of
+    /// this run.
+    header: Vec<u8>,
+    /// One encoded chunk slot per worker.
+    chunks: Vec<std::sync::Mutex<Vec<u8>>>,
+    /// First error from any worker or the writer; surfaced after the run.
+    error: std::sync::Mutex<Option<String>>,
+}
+
+impl CheckpointState {
+    /// Records `why` unless an earlier error already claimed the slot.
+    fn record_error(&self, why: String) {
+        let mut slot = self.error.lock().expect("checkpoint error lock");
+        if slot.is_none() {
+            *slot = Some(why);
+        }
+    }
+}
+
 /// Runs the whole simulation and assembles the result.
 pub(crate) fn drive<A: Application>(
     cfg: &SystemConfig,
@@ -127,6 +166,7 @@ pub(crate) fn drive<A: Application>(
     setup: SimSetup<A>,
     cycle_limit: u64,
     stop_at_limit: bool,
+    resume: Option<ResumeState>,
 ) -> Result<SimResult, SimError> {
     let started = Instant::now();
     let SimSetup {
@@ -138,6 +178,27 @@ pub(crate) fn drive<A: Application>(
     let termination = cfg.termination_latency_cycles();
     let kernels = app.kernels();
     let leap = cfg.time_leap;
+    let ckpt = match (&cfg.checkpoint_path, cfg.checkpoint_every) {
+        (Some(path), Some(every)) => Some(CheckpointState {
+            every: every.max(1),
+            path: path.clone(),
+            header: crate::snapshot::encode_header(
+                crate::snapshot::config_hash(cfg),
+                app.name(),
+                cfg.width(),
+                cfg.height(),
+                cfg.pus_per_tile,
+                cfg.noc.num_physical.max(1),
+                app.task_types(),
+                kernels,
+            ),
+            chunks: (0..nworkers)
+                .map(|_| std::sync::Mutex::new(Vec::new()))
+                .collect(),
+            error: std::sync::Mutex::new(None),
+        }),
+        _ => None,
+    };
     let runtime_cycles;
     {
         // hand each worker its shard of every NoC plane
@@ -162,6 +223,7 @@ pub(crate) fn drive<A: Application>(
                 let shareds = shareds.clone();
                 let sync = &sync;
                 let final_cycle = &final_cycle;
+                let ckpt = ckpt.as_ref();
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         worker,
@@ -176,6 +238,8 @@ pub(crate) fn drive<A: Application>(
                         leap,
                         widx + 1,
                         nworkers,
+                        resume,
+                        ckpt,
                     );
                 }));
             }
@@ -192,12 +256,19 @@ pub(crate) fn drive<A: Application>(
                 leap,
                 0,
                 nworkers,
+                resume,
+                ckpt.as_ref(),
             );
             for h in handles {
                 h.join().expect("worker thread panicked");
             }
         });
         runtime_cycles = final_cycle.load(Ordering::Acquire);
+    }
+    if let Some(c) = &ckpt {
+        if let Some(why) = c.error.lock().expect("checkpoint error lock").take() {
+            return Err(SimError::Snapshot(why));
+        }
     }
     if sync.limit_hit.load(Ordering::Acquire) && !stop_at_limit {
         return Err(SimError::CycleLimitExceeded { limit: cycle_limit });
@@ -237,15 +308,47 @@ fn worker_loop<A: Application>(
     leap: bool,
     widx: usize,
     nworkers: usize,
+    resume: Option<ResumeState>,
+    ckpt: Option<&CheckpointState>,
 ) {
     let mut sense = false;
-    let mut base = 0u64;
-    for kernel in 0..kernels {
-        worker.start_kernel(kernel);
-        let mut cycle = base;
+    // on resume the restored kernel's state is already in place, so the
+    // loop re-enters at the snapshot cycle without a fresh start_kernel
+    let (start_kernel, mut resume_cycle) = match resume {
+        Some(r) => (r.kernel, Some(r.cycle)),
+        None => (0, None),
+    };
+    let mut base = resume.map_or(0, |r| r.base);
+    // the first checkpoint boundary strictly after the starting cycle;
+    // derived from barrier-synchronized values only, so every worker
+    // agrees on each snapshot cycle without communicating
+    let mut next_snap = ckpt.map_or(u64::MAX, |c| {
+        (resume.map_or(0, |r| r.cycle) / c.every + 1) * c.every
+    });
+    for kernel in start_kernel..kernels {
+        let mut cycle = match resume_cycle.take() {
+            Some(c) => c,
+            None => {
+                worker.start_kernel(kernel);
+                base
+            }
+        };
         loop {
             // local phase: everything here touches only worker-owned state
             worker.begin_cycle(&mut shards, shareds);
+            // the capture point is right after begin_cycle: deferred
+            // frees, deferred pushes, and cross-shard mailboxes are all
+            // drained, so every in-flight packet sits in a router queue.
+            // Time leaping may skip the exact boundary; the first
+            // executed cycle at or past it is the snapshot cycle.
+            if cycle >= next_snap {
+                if let Some(c) = ckpt {
+                    take_checkpoint(
+                        worker, app, &shards, sync, c, kernel, cycle, base, &mut sense, widx,
+                    );
+                    next_snap = (cycle / c.every + 1) * c.every;
+                }
+            }
             worker.pu_phase(app, cycle);
             worker.inject_phase(&mut shards, shareds, cycle);
             sync.barrier.wait(&mut sense);
@@ -331,4 +434,65 @@ fn worker_loop<A: Application>(
             return;
         }
     }
+}
+
+/// One synchronized snapshot: every worker encodes its chunk, then the
+/// barrier leader stitches the chunks into the snapshot file (written to
+/// a temp file and renamed, so a crash mid-write never corrupts the
+/// previous snapshot). All workers reach this at the same `cycle`, so the
+/// extra barrier pairs up cleanly. Failures are recorded, not raised: the
+/// run continues and the driver surfaces the first error at the end.
+#[allow(clippy::too_many_arguments)]
+fn take_checkpoint<A: Application>(
+    worker: &Worker<A>,
+    app: &A,
+    shards: &[&mut Shard],
+    sync: &SyncState,
+    ckpt: &CheckpointState,
+    kernel: u32,
+    cycle: u64,
+    base: u64,
+    sense: &mut bool,
+    widx: usize,
+) {
+    {
+        let mut buf = ckpt.chunks[widx].lock().expect("checkpoint chunk lock");
+        // clear() keeps the capacity: snapshot N+1 reuses snapshot N's
+        // allocation instead of re-growing a multi-megabyte buffer
+        buf.clear();
+        if let Err(why) = worker.encode_chunk_into(app, shards, cycle, &mut buf) {
+            ckpt.record_error(why);
+        }
+        #[cfg(debug_assertions)]
+        if let Ok(chunk) = worker.snapshot_chunk(app, shards, cycle) {
+            debug_assert_eq!(
+                *buf,
+                chunk.encode(),
+                "streaming chunk encoder diverged from the reference encoder"
+            );
+        }
+    }
+    sync.barrier.wait_leader(sense, || {
+        if ckpt.error.lock().expect("checkpoint error lock").is_some() {
+            return;
+        }
+        // read the workers' buffers in place — no take, no reassembly;
+        // the guards pin the buffers for the duration of the write
+        let guards: Vec<_> = ckpt
+            .chunks
+            .iter()
+            .map(|m| m.lock().expect("checkpoint chunk lock"))
+            .collect();
+        let chunks: Vec<&[u8]> = guards.iter().map(|g| g.as_slice()).collect();
+        if let Err(why) = crate::snapshot::write_snapshot_file(
+            &ckpt.path,
+            &ckpt.header,
+            kernel,
+            cycle,
+            base,
+            &chunks,
+        ) {
+            ckpt.record_error(why);
+        }
+    });
 }

@@ -50,6 +50,16 @@ impl Scheduler {
         }
     }
 
+    /// The round-robin pointer (last served task id), for checkpointing.
+    pub(crate) fn rr_last(&self) -> u8 {
+        self.rr_last
+    }
+
+    /// Restores the round-robin pointer from a checkpoint.
+    pub(crate) fn set_rr_last(&mut self, v: u8) {
+        self.rr_last = v;
+    }
+
     /// Picks the next task-type queue to serve, or `None` if all are
     /// empty. `iqs[t]` is the input queue of task `t`; an empty slice
     /// (no queues materialized yet) always yields `None`.

@@ -1,0 +1,1521 @@
+//! Versioned, checksummed checkpoint snapshots.
+//!
+//! A snapshot captures the *complete deterministic simulation state* at a
+//! quiescent point of the parallel driver — the top of a worker iteration,
+//! immediately after `begin_cycle` has drained every deferred buffer
+//! (cross-shard mailboxes, pending pushes, pending frees). At that point
+//! every in-flight packet sits in exactly one router input queue, keyed by
+//! its *global* tile id, so a snapshot written by N workers restores
+//! bit-identically under any other worker count.
+//!
+//! # File format (version 1)
+//!
+//! All integers are little-endian. Floats are stored as their IEEE-754
+//! bit patterns (`to_bits`), never through a decimal round-trip. Per-tile
+//! PU and memory counter blocks are LEB128 varints ([`put_vu64`]) — the
+//! values are mostly small and those two blocks dominate a dense-grid
+//! snapshot's size; everything else is fixed-width.
+//!
+//! ```text
+//! magic            8 B   b"MUCHSNAP"
+//! version          u32   SNAPSHOT_VERSION
+//! config_hash      u64   FNV-1a over the canonical JSON of the config,
+//!                        with host-side knobs (time_leap, active_list,
+//!                        checkpoint_*) reset to defaults — resuming under
+//!                        a different leap/worklist/thread setting is
+//!                        allowed and bit-identical
+//! app name         len-prefixed UTF-8
+//! width, height, pus_per_tile, planes   u32 each
+//! task_types       u8
+//! kernels          u32
+//! kernel           u32   kernel being executed at the snapshot
+//! cycle            u64   NoC cycle the resumed run re-enters at
+//! base             u64   first cycle of the current kernel
+//! n_chunks         u32   worker chunks (writer's thread count)
+//! chunk × n        len-prefixed worker state (see `WorkerChunk`)
+//! checksum         u64   [`SnapshotHasher`] (word-parallel FNV-1a) over
+//!                        every preceding byte
+//! ```
+//!
+//! **Compatibility rule**: a snapshot is readable iff its `version` equals
+//! [`SNAPSHOT_VERSION`] and its `config_hash`, application name, grid
+//! geometry, and task-type count match the resuming configuration exactly.
+//! Any model change that alters simulated behavior must bump the version;
+//! there is no cross-version migration — re-run from the start instead.
+
+use crate::app::{OutMsg, ScheduledSend};
+use crate::counters::PuCounters;
+use crate::digest::Fnv;
+use crate::error::SimError;
+use crate::frames::FrameLog;
+use muchisim_config::SystemConfig;
+use muchisim_mem::MemCounters;
+use muchisim_noc::{LatencyStats, NocCounters, Packet, Payload, ReduceOp};
+use std::path::Path;
+
+/// Magic bytes identifying a MuchiSim snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MUCHSNAP";
+
+/// Current snapshot format version. Bump on any change to the format *or*
+/// to simulated behavior (golden-trace re-bless); old versions are
+/// rejected with a clean error, never migrated.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------
+// Little-endian write helpers (public: application crates use these in
+// their `snapshot_tile` hooks).
+// ---------------------------------------------------------------------
+
+/// Appends a `u8`.
+pub fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+/// Appends a `u16` (little-endian).
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` (little-endian).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` (little-endian).
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f32` as its IEEE-754 bit pattern (bit-exact).
+pub fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    put_u32(buf, v.to_bits());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (bit-exact).
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+/// Appends a `bool` as one byte.
+pub fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+/// Appends a length-prefixed byte blob.
+pub fn put_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(buf, bytes.len() as u32);
+    buf.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+/// Appends a length-prefixed `u32` slice.
+pub fn put_u32s(buf: &mut Vec<u8>, vs: &[u32]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u32(buf, v);
+    }
+}
+
+/// Appends a length-prefixed `u64` slice.
+pub fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_u64(buf, v);
+    }
+}
+
+/// Appends a length-prefixed `f32` slice (bit patterns).
+pub fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f32(buf, v);
+    }
+}
+
+/// Appends a length-prefixed `f64` slice (bit patterns).
+pub fn put_f64s(buf: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_f64(buf, v);
+    }
+}
+
+/// Appends a length-prefixed `bool` slice (one byte each).
+pub fn put_bools(buf: &mut Vec<u8>, vs: &[bool]) {
+    put_u32(buf, vs.len() as u32);
+    for &v in vs {
+        put_bool(buf, v);
+    }
+}
+
+/// Appends a `u64` as a LEB128 varint: 7 value bits per byte, low group
+/// first, high bit set on every byte but the last. Counter blocks use
+/// this (a tile's counters are mostly small), which shrinks dense-grid
+/// snapshots several-fold; monotonically large values like femtosecond
+/// clocks stay fixed-width `u64`.
+pub fn put_vu64(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+// ---------------------------------------------------------------------
+// Bounds-checked little-endian reader.
+// ---------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over a byte slice. Every
+/// accessor returns a descriptive error instead of panicking on
+/// truncated or corrupt input.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated: wanted {n} bytes at offset {}, {} left",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn f32(&mut self) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool` byte (anything non-zero is `true`).
+    pub fn bool_(&mut self) -> Result<bool, String> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a LEB128 varint `u64` (see [`put_vu64`]).
+    pub fn vu64(&mut self) -> Result<u64, String> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return Err(format!("varint overflows u64 at offset {}", self.pos));
+            }
+            v |= u64::from(b & 0x7F) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(format!(
+                    "varint longer than 10 bytes at offset {}",
+                    self.pos
+                ));
+            }
+        }
+    }
+
+    /// Reads a length, guarding against lengths that exceed the bytes
+    /// actually present (corrupt files must error, not allocate).
+    fn len_capped(&mut self, elem_bytes: usize) -> Result<usize, String> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_bytes.max(1)) > self.remaining() {
+            return Err(format!(
+                "corrupt length {n} at offset {} exceeds {} remaining bytes",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let n = self.len_capped(1)?;
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> Result<String, String> {
+        String::from_utf8(self.bytes()?.to_vec()).map_err(|e| format!("invalid UTF-8: {e}"))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn u32s(&mut self) -> Result<Vec<u32>, String> {
+        let n = self.len_capped(4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn u64s(&mut self) -> Result<Vec<u64>, String> {
+        let n = self.len_capped(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn f32s(&mut self) -> Result<Vec<f32>, String> {
+        let n = self.len_capped(4)?;
+        (0..n).map(|_| self.f32()).collect()
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.len_capped(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Reads a length-prefixed `bool` slice.
+    pub fn bools(&mut self) -> Result<Vec<bool>, String> {
+        let n = self.len_capped(1)?;
+        (0..n).map(|_| self.bool_()).collect()
+    }
+
+    /// Asserts that every byte was consumed.
+    pub fn expect_end(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!("{} trailing bytes after record", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config identity.
+// ---------------------------------------------------------------------
+
+/// FNV-1a over the canonical JSON of `cfg` with the host-side knobs that
+/// are *allowed* to differ between the checkpointing and the resuming run
+/// (time leaping, active lists, and the checkpoint options themselves)
+/// reset to fixed values. Everything that shapes simulated behavior —
+/// geometry, latencies, queue capacities, traffic, verbosity, frame
+/// interval — participates.
+pub(crate) fn config_hash(cfg: &SystemConfig) -> u64 {
+    let mut c = cfg.clone();
+    c.time_leap = true;
+    c.active_list = true;
+    c.checkpoint_every = None;
+    c.checkpoint_path = None;
+    c.checkpoint_resume = false;
+    let json = serde_json::to_string(&c).expect("config serializes");
+    let mut h = Fnv::new();
+    h.bytes(json.as_bytes());
+    h.finish()
+}
+
+// ---------------------------------------------------------------------
+// Payload / packet / message codecs (hand-rolled: OutMsg and
+// ScheduledSend carry no serde derives, and floats must not round-trip
+// through decimal).
+// ---------------------------------------------------------------------
+
+fn reduce_tag(op: Option<ReduceOp>) -> u8 {
+    match op {
+        None => 0,
+        Some(ReduceOp::SumF32) => 1,
+        Some(ReduceOp::SumU32) => 2,
+        Some(ReduceOp::MinU32) => 3,
+        Some(ReduceOp::MinF32) => 4,
+        Some(ReduceOp::MaxU32) => 5,
+    }
+}
+
+fn reduce_from_tag(tag: u8) -> Result<Option<ReduceOp>, String> {
+    Ok(match tag {
+        0 => None,
+        1 => Some(ReduceOp::SumF32),
+        2 => Some(ReduceOp::SumU32),
+        3 => Some(ReduceOp::MinU32),
+        4 => Some(ReduceOp::MinF32),
+        5 => Some(ReduceOp::MaxU32),
+        other => return Err(format!("unknown reduce-op tag {other}")),
+    })
+}
+
+pub(crate) fn put_payload(buf: &mut Vec<u8>, p: &Payload) {
+    put_u32s(buf, p.as_slice());
+}
+
+fn read_payload(r: &mut ByteReader<'_>) -> Result<Payload, String> {
+    Ok(Payload::from_slice(&r.u32s()?))
+}
+
+pub(crate) fn put_packet(buf: &mut Vec<u8>, p: &Packet) {
+    put_u32(buf, p.src);
+    put_u32(buf, p.dst);
+    put_u8(buf, p.task);
+    put_u8(buf, p.vc);
+    put_u16(buf, p.flits);
+    put_u64(buf, p.ready_at);
+    put_u64(buf, p.born);
+    put_u8(buf, reduce_tag(p.reduce));
+    put_payload(buf, &p.payload);
+}
+
+pub(crate) fn read_packet(r: &mut ByteReader<'_>) -> Result<Packet, String> {
+    Ok(Packet {
+        src: r.u32()?,
+        dst: r.u32()?,
+        task: r.u8()?,
+        vc: r.u8()?,
+        flits: r.u16()?,
+        ready_at: r.u64()?,
+        born: r.u64()?,
+        reduce: reduce_from_tag(r.u8()?)?,
+        payload: read_payload(r)?,
+    })
+}
+
+pub(crate) fn put_out_msg(buf: &mut Vec<u8>, m: &OutMsg) {
+    put_u32(buf, m.dst);
+    put_u8(buf, m.task);
+    put_u64(buf, m.at_pu_cycle);
+    put_u8(buf, reduce_tag(m.reduce));
+    put_payload(buf, &m.payload);
+}
+
+fn read_out_msg(r: &mut ByteReader<'_>) -> Result<OutMsg, String> {
+    Ok(OutMsg {
+        dst: r.u32()?,
+        task: r.u8()?,
+        at_pu_cycle: r.u64()?,
+        reduce: reduce_from_tag(r.u8()?)?,
+        payload: read_payload(r)?,
+    })
+}
+
+pub(crate) fn put_scheduled_send(buf: &mut Vec<u8>, s: &ScheduledSend) {
+    put_u64(buf, s.cycle);
+    put_u32(buf, s.dst);
+    put_u8(buf, s.task);
+    put_u8(buf, reduce_tag(s.reduce));
+    put_payload(buf, &s.payload);
+}
+
+fn read_scheduled_send(r: &mut ByteReader<'_>) -> Result<ScheduledSend, String> {
+    Ok(ScheduledSend {
+        cycle: r.u64()?,
+        dst: r.u32()?,
+        task: r.u8()?,
+        reduce: reduce_from_tag(r.u8()?)?,
+        payload: read_payload(r)?,
+    })
+}
+
+pub(crate) fn put_pu_counters(buf: &mut Vec<u8>, c: &PuCounters) {
+    for v in [
+        c.int_ops,
+        c.fp_ops,
+        c.ctrl_ops,
+        c.loads,
+        c.stores,
+        c.msgs_sent,
+        c.tasks_executed,
+        c.busy_cycles,
+        c.cq_stall_cycles,
+        c.app_ops,
+    ] {
+        put_vu64(buf, v);
+    }
+}
+
+fn read_pu_counters(r: &mut ByteReader<'_>) -> Result<PuCounters, String> {
+    Ok(PuCounters {
+        int_ops: r.vu64()?,
+        fp_ops: r.vu64()?,
+        ctrl_ops: r.vu64()?,
+        loads: r.vu64()?,
+        stores: r.vu64()?,
+        msgs_sent: r.vu64()?,
+        tasks_executed: r.vu64()?,
+        busy_cycles: r.vu64()?,
+        cq_stall_cycles: r.vu64()?,
+        app_ops: r.vu64()?,
+    })
+}
+
+pub(crate) fn put_mem_counters(buf: &mut Vec<u8>, c: &MemCounters) {
+    for v in [
+        c.sram_reads,
+        c.sram_writes,
+        c.sram_read_bits,
+        c.sram_write_bits,
+        c.tag_accesses,
+        c.cache_hits,
+        c.cache_misses,
+        c.writebacks,
+        c.dram_line_reads,
+        c.dram_line_writes,
+        c.prefetch_fills,
+        c.prefetch_hits,
+        c.queue_reads,
+        c.queue_writes,
+    ] {
+        put_vu64(buf, v);
+    }
+}
+
+fn read_mem_counters(r: &mut ByteReader<'_>) -> Result<MemCounters, String> {
+    Ok(MemCounters {
+        sram_reads: r.vu64()?,
+        sram_writes: r.vu64()?,
+        sram_read_bits: r.vu64()?,
+        sram_write_bits: r.vu64()?,
+        tag_accesses: r.vu64()?,
+        cache_hits: r.vu64()?,
+        cache_misses: r.vu64()?,
+        writebacks: r.vu64()?,
+        dram_line_reads: r.vu64()?,
+        dram_line_writes: r.vu64()?,
+        prefetch_fills: r.vu64()?,
+        prefetch_hits: r.vu64()?,
+        queue_reads: r.vu64()?,
+        queue_writes: r.vu64()?,
+    })
+}
+
+pub(crate) fn put_noc_counters(buf: &mut Vec<u8>, c: &NocCounters) {
+    put_u64(buf, c.injected);
+    put_u64(buf, c.ejected);
+    put_u64(buf, c.msg_hops);
+    for v in c.flit_hops_by_class {
+        put_u64(buf, v);
+    }
+    put_f64(buf, c.onchip_flit_mm);
+    put_u64(buf, c.collisions);
+    put_u64(buf, c.backpressure);
+    put_u64(buf, c.eject_stalls);
+    put_u64(buf, c.reduce_combines);
+}
+
+fn read_noc_counters(r: &mut ByteReader<'_>) -> Result<NocCounters, String> {
+    let mut c = NocCounters {
+        injected: r.u64()?,
+        ejected: r.u64()?,
+        msg_hops: r.u64()?,
+        ..Default::default()
+    };
+    for v in c.flit_hops_by_class.iter_mut() {
+        *v = r.u64()?;
+    }
+    c.onchip_flit_mm = r.f64()?;
+    c.collisions = r.u64()?;
+    c.backpressure = r.u64()?;
+    c.eject_stalls = r.u64()?;
+    c.reduce_combines = r.u64()?;
+    Ok(c)
+}
+
+pub(crate) fn put_latency(buf: &mut Vec<u8>, s: &LatencyStats) {
+    put_u64(buf, s.count);
+    put_u64(buf, s.total_cycles);
+    put_u64(buf, s.max_cycles);
+    for v in s.buckets {
+        put_u64(buf, v);
+    }
+}
+
+fn read_latency(r: &mut ByteReader<'_>) -> Result<LatencyStats, String> {
+    let mut s = LatencyStats {
+        count: r.u64()?,
+        total_cycles: r.u64()?,
+        max_cycles: r.u64()?,
+        ..Default::default()
+    };
+    for v in s.buckets.iter_mut() {
+        *v = r.u64()?;
+    }
+    Ok(s)
+}
+
+pub(crate) fn put_frame_log(buf: &mut Vec<u8>, log: &FrameLog) {
+    put_u64(buf, log.interval_cycles);
+    put_u32(buf, log.frames.len() as u32);
+    for f in &log.frames {
+        put_u64(buf, f.index);
+        put_u64(buf, f.start_cycle);
+        put_u64(buf, f.tasks_delta);
+        put_u64(buf, f.injected_delta);
+        put_u64(buf, f.ejected_delta);
+        for pairs in [&f.router_busy, &f.pu_busy, &f.iq_occupancy] {
+            put_u32(buf, pairs.len() as u32);
+            for &(t, v) in pairs.iter() {
+                put_u32(buf, t);
+                put_u32(buf, v);
+            }
+        }
+    }
+}
+
+fn read_frame_log(r: &mut ByteReader<'_>) -> Result<FrameLog, String> {
+    let interval = r.u64()?;
+    let mut log = FrameLog::new(interval);
+    let n = r.len_capped(40)?;
+    for _ in 0..n {
+        let mut f = crate::frames::Frame {
+            index: r.u64()?,
+            start_cycle: r.u64()?,
+            tasks_delta: r.u64()?,
+            injected_delta: r.u64()?,
+            ejected_delta: r.u64()?,
+            ..Default::default()
+        };
+        for pairs in [&mut f.router_busy, &mut f.pu_busy, &mut f.iq_occupancy] {
+            let m = r.len_capped(8)?;
+            for _ in 0..m {
+                pairs.push((r.u32()?, r.u32()?));
+            }
+        }
+        log.frames.push(f);
+    }
+    Ok(log)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot records (crate-internal; the engine assembles and applies
+// them).
+// ---------------------------------------------------------------------
+
+/// One tile's complete dynamic state.
+#[derive(Debug, Clone)]
+pub(crate) struct TileRecord {
+    /// Global tile id.
+    pub tile: u32,
+    /// Whether the tile's init task for the current kernel is still due.
+    pub init_pending: bool,
+    /// Router/PU busy cycles accumulated in the current (open) frame.
+    pub pu_busy_frame: u32,
+    /// TSU round-robin pointer.
+    pub rr_last: u8,
+    /// Per-PU clocks (absolute PU-domain femtoseconds/cycles).
+    pub pu_clock: Vec<u64>,
+    /// PU event counters.
+    pub pu: PuCounters,
+    /// Memory event counters.
+    pub mem: MemCounters,
+    /// Cache model state as canonical JSON (`None` for scratchpad tiles).
+    pub cache: Option<String>,
+    /// Input queues: per task type, queued payloads in FIFO order.
+    pub iqs: Vec<Vec<Payload>>,
+    /// Channel queues: per task type, queued messages in FIFO order.
+    pub cqs: Vec<Vec<OutMsg>>,
+    /// Remaining (unconsumed) scheduled sends.
+    pub scripted: Vec<ScheduledSend>,
+    /// Application tile state (app-defined encoding).
+    pub app: Vec<u8>,
+}
+
+/// Per-NoC-plane state contributed by one worker's shard (merged across
+/// chunks at read time).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PlaneRecord {
+    /// NoC counters (merged).
+    pub counters: NocCounters,
+    /// Latency histogram (merged).
+    pub latency: LatencyStats,
+    /// Queued packets: `(global tile, input port index, packet)` in FIFO
+    /// order per queue.
+    pub packets: Vec<(u32, u8, Packet)>,
+    /// Busy output links: `(global tile, direction index, busy_until)`.
+    pub links: Vec<(u32, u8, u64)>,
+    /// Non-zero round-robin pointers: `(global tile, direction, value)`.
+    pub rr: Vec<(u32, u8, u8)>,
+    /// Non-zero per-frame router busy counts: `(global tile, count)`.
+    pub busy_frame: Vec<(u32, u32)>,
+}
+
+/// Everything one worker owns, serialized independently and merged by
+/// the reader.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkerChunk {
+    /// Maximum PU timestamp seen (femtoseconds), for the kernel barrier.
+    pub max_pu_fs: u64,
+    /// Tasks dispatched in the current (open) frame interval.
+    pub frame_tasks: u64,
+    /// Packets injected in the current frame interval.
+    pub frame_injected: u64,
+    /// Packets ejected in the current frame interval.
+    pub frame_ejected: u64,
+    /// This worker's captured frames.
+    pub frames: FrameLog,
+    /// Per-plane NoC state of this worker's shards.
+    pub planes: Vec<PlaneRecord>,
+    /// Tile records for this worker's slice.
+    pub tiles: Vec<TileRecord>,
+    /// Non-zero HBM channels owned by this worker: `(id, transactions)`.
+    pub channels: Vec<(u32, u64)>,
+}
+
+impl WorkerChunk {
+    /// Reference encoder. The live driver streams the same wire format
+    /// through the engine's `encode_chunk_into` without building a
+    /// `WorkerChunk`; this builder-based version survives as the
+    /// debug-mode cross-check oracle and for round-trip tests.
+    #[cfg_attr(not(any(test, debug_assertions)), allow(dead_code))]
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        put_u64(&mut b, self.max_pu_fs);
+        put_u64(&mut b, self.frame_tasks);
+        put_u64(&mut b, self.frame_injected);
+        put_u64(&mut b, self.frame_ejected);
+        put_frame_log(&mut b, &self.frames);
+        put_u32(&mut b, self.planes.len() as u32);
+        for p in &self.planes {
+            put_noc_counters(&mut b, &p.counters);
+            put_latency(&mut b, &p.latency);
+            put_u32(&mut b, p.packets.len() as u32);
+            for (tile, port, pkt) in &p.packets {
+                put_u32(&mut b, *tile);
+                put_u8(&mut b, *port);
+                put_packet(&mut b, pkt);
+            }
+            put_u32(&mut b, p.links.len() as u32);
+            for &(tile, dir, until) in &p.links {
+                put_u32(&mut b, tile);
+                put_u8(&mut b, dir);
+                put_u64(&mut b, until);
+            }
+            put_u32(&mut b, p.rr.len() as u32);
+            for &(tile, dir, v) in &p.rr {
+                put_u32(&mut b, tile);
+                put_u8(&mut b, dir);
+                put_u8(&mut b, v);
+            }
+            put_u32(&mut b, p.busy_frame.len() as u32);
+            for &(tile, v) in &p.busy_frame {
+                put_u32(&mut b, tile);
+                put_u32(&mut b, v);
+            }
+        }
+        put_u32(&mut b, self.tiles.len() as u32);
+        for t in &self.tiles {
+            put_u32(&mut b, t.tile);
+            put_bool(&mut b, t.init_pending);
+            put_u32(&mut b, t.pu_busy_frame);
+            put_u8(&mut b, t.rr_last);
+            put_u64s(&mut b, &t.pu_clock);
+            put_pu_counters(&mut b, &t.pu);
+            put_mem_counters(&mut b, &t.mem);
+            match &t.cache {
+                Some(json) => put_bytes(&mut b, json.as_bytes()),
+                None => put_u32(&mut b, 0),
+            }
+            put_u32(&mut b, t.iqs.len() as u32);
+            for q in &t.iqs {
+                put_u32(&mut b, q.len() as u32);
+                for p in q {
+                    put_payload(&mut b, p);
+                }
+            }
+            put_u32(&mut b, t.cqs.len() as u32);
+            for q in &t.cqs {
+                put_u32(&mut b, q.len() as u32);
+                for m in q {
+                    put_out_msg(&mut b, m);
+                }
+            }
+            put_u32(&mut b, t.scripted.len() as u32);
+            for s in &t.scripted {
+                put_scheduled_send(&mut b, s);
+            }
+            put_bytes(&mut b, &t.app);
+        }
+        put_u32(&mut b, self.channels.len() as u32);
+        for &(id, tx) in &self.channels {
+            put_u32(&mut b, id);
+            put_u64(&mut b, tx);
+        }
+        b
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<WorkerChunk, String> {
+        let max_pu_fs = r.u64()?;
+        let frame_tasks = r.u64()?;
+        let frame_injected = r.u64()?;
+        let frame_ejected = r.u64()?;
+        let frames = read_frame_log(r)?;
+        let n_planes = r.len_capped(1)?;
+        let mut planes = Vec::with_capacity(n_planes);
+        for _ in 0..n_planes {
+            let counters = read_noc_counters(r)?;
+            let latency = read_latency(r)?;
+            let n_pkt = r.len_capped(8)?;
+            let mut packets = Vec::with_capacity(n_pkt);
+            for _ in 0..n_pkt {
+                let tile = r.u32()?;
+                let port = r.u8()?;
+                packets.push((tile, port, read_packet(r)?));
+            }
+            let n_link = r.len_capped(13)?;
+            let mut links = Vec::with_capacity(n_link);
+            for _ in 0..n_link {
+                links.push((r.u32()?, r.u8()?, r.u64()?));
+            }
+            let n_rr = r.len_capped(6)?;
+            let mut rr = Vec::with_capacity(n_rr);
+            for _ in 0..n_rr {
+                rr.push((r.u32()?, r.u8()?, r.u8()?));
+            }
+            let n_bf = r.len_capped(8)?;
+            let mut busy_frame = Vec::with_capacity(n_bf);
+            for _ in 0..n_bf {
+                busy_frame.push((r.u32()?, r.u32()?));
+            }
+            planes.push(PlaneRecord {
+                counters,
+                latency,
+                packets,
+                links,
+                rr,
+                busy_frame,
+            });
+        }
+        let n_tiles = r.len_capped(30)?;
+        let mut tiles = Vec::with_capacity(n_tiles);
+        for _ in 0..n_tiles {
+            let tile = r.u32()?;
+            let init_pending = r.bool_()?;
+            let pu_busy_frame = r.u32()?;
+            let rr_last = r.u8()?;
+            let pu_clock = r.u64s()?;
+            let pu = read_pu_counters(r)?;
+            let mem = read_mem_counters(r)?;
+            let cache_bytes = r.bytes()?;
+            let cache = if cache_bytes.is_empty() {
+                None
+            } else {
+                Some(
+                    String::from_utf8(cache_bytes.to_vec())
+                        .map_err(|e| format!("cache blob not UTF-8: {e}"))?,
+                )
+            };
+            let n_iq = r.len_capped(4)?;
+            let mut iqs = Vec::with_capacity(n_iq);
+            for _ in 0..n_iq {
+                let m = r.len_capped(4)?;
+                iqs.push(
+                    (0..m)
+                        .map(|_| read_payload(r))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            let n_cq = r.len_capped(4)?;
+            let mut cqs = Vec::with_capacity(n_cq);
+            for _ in 0..n_cq {
+                let m = r.len_capped(4)?;
+                cqs.push(
+                    (0..m)
+                        .map(|_| read_out_msg(r))
+                        .collect::<Result<Vec<_>, _>>()?,
+                );
+            }
+            let n_s = r.len_capped(14)?;
+            let scripted = (0..n_s)
+                .map(|_| read_scheduled_send(r))
+                .collect::<Result<Vec<_>, _>>()?;
+            let app = r.bytes()?.to_vec();
+            tiles.push(TileRecord {
+                tile,
+                init_pending,
+                pu_busy_frame,
+                rr_last,
+                pu_clock,
+                pu,
+                mem,
+                cache,
+                iqs,
+                cqs,
+                scripted,
+                app,
+            });
+        }
+        let n_ch = r.len_capped(12)?;
+        let mut channels = Vec::with_capacity(n_ch);
+        for _ in 0..n_ch {
+            channels.push((r.u32()?, r.u64()?));
+        }
+        Ok(WorkerChunk {
+            max_pu_fs,
+            frame_tasks,
+            frame_injected,
+            frame_ejected,
+            frames,
+            planes,
+            tiles,
+            channels,
+        })
+    }
+}
+
+/// A fully parsed and merged snapshot, thread-count agnostic: every
+/// record is keyed by global tile id.
+#[derive(Debug)]
+pub(crate) struct SnapshotData {
+    /// Normalized config hash the snapshot was written under.
+    pub config_hash: u64,
+    /// Application name.
+    pub app_name: String,
+    /// Grid width in tiles.
+    pub width: u32,
+    /// Grid height in tiles.
+    pub height: u32,
+    /// PUs per tile.
+    pub pus: u32,
+    /// Physical NoC planes.
+    pub planes: u32,
+    /// Task types.
+    pub task_types: u8,
+    /// Kernel count of the application.
+    pub kernels: u32,
+    /// Kernel index being executed at the snapshot.
+    pub kernel: u32,
+    /// NoC cycle the resumed run re-enters at.
+    pub cycle: u64,
+    /// First cycle of the current kernel.
+    pub base: u64,
+    /// Global maximum PU timestamp (femtoseconds).
+    pub max_pu_fs: u64,
+    /// Open-frame task count (global sum).
+    pub frame_tasks: u64,
+    /// Open-frame injection count (global sum).
+    pub frame_injected: u64,
+    /// Open-frame ejection count (global sum).
+    pub frame_ejected: u64,
+    /// Merged frame log (all workers).
+    pub frames: FrameLog,
+    /// Merged per-plane NoC state.
+    pub planes_state: Vec<PlaneRecord>,
+    /// All tile records, sorted by tile id.
+    pub tiles: Vec<TileRecord>,
+    /// Non-zero HBM channels: `(id, transactions)`.
+    pub channels: Vec<(u32, u64)>,
+}
+
+/// Encodes the fixed header (everything before the per-worker chunks).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn encode_header(
+    config_hash_v: u64,
+    app_name: &str,
+    width: u32,
+    height: u32,
+    pus: u32,
+    planes: u32,
+    task_types: u8,
+    kernels: u32,
+) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(&SNAPSHOT_MAGIC);
+    put_u32(&mut b, SNAPSHOT_VERSION);
+    put_u64(&mut b, config_hash_v);
+    put_str(&mut b, app_name);
+    put_u32(&mut b, width);
+    put_u32(&mut b, height);
+    put_u32(&mut b, pus);
+    put_u32(&mut b, planes);
+    put_u8(&mut b, task_types);
+    put_u32(&mut b, kernels);
+    b
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Word-parallel FNV-1a used for the whole-file snapshot checksum.
+///
+/// Eight independent 64-bit FNV-1a lanes each consume one `u64` word of a
+/// 64-byte block (lane `i` seeds at `FNV_OFFSET ^ i`); [`finish`] zero-pads
+/// the final partial block, folds the lanes together with plain FNV-1a
+/// steps, and mixes in the total byte length so the padding cannot collide
+/// with real trailing zeros. Classic FNV-1a advances one byte per
+/// multiply, a serial dependency chain that caps it near one byte per
+/// multiply latency; the eight lanes here are independent, so the hash
+/// runs at word rate — which matters because the checksum covers every
+/// byte of a file that reaches tens of megabytes on dense grids.
+///
+/// This hash defines the snapshot *file* checksum only. Digest checksums
+/// ([`crate::digest`]) stay byte-serial FNV-1a: the committed golden
+/// traces pin those values.
+///
+/// [`finish`]: SnapshotHasher::finish
+#[derive(Debug)]
+pub struct SnapshotHasher {
+    lanes: [u64; 8],
+    block: [u8; 64],
+    fill: usize,
+    total: u64,
+}
+
+impl SnapshotHasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        let mut lanes = [0u64; 8];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = FNV_OFFSET ^ i as u64;
+        }
+        SnapshotHasher {
+            lanes,
+            block: [0; 64],
+            fill: 0,
+            total: 0,
+        }
+    }
+
+    fn compress(lanes: &mut [u64; 8], block: &[u8; 64]) {
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let word = u64::from_le_bytes(block[i * 8..i * 8 + 8].try_into().unwrap());
+            *lane = (*lane ^ word).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs `bytes`. Split points don't matter: any sequence of
+    /// `update` calls over the same byte stream yields the same checksum.
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        self.total += bytes.len() as u64;
+        if self.fill > 0 {
+            let take = (64 - self.fill).min(bytes.len());
+            self.block[self.fill..self.fill + take].copy_from_slice(&bytes[..take]);
+            self.fill += take;
+            bytes = &bytes[take..];
+            if self.fill < 64 {
+                return; // everything fit in the still-partial block
+            }
+            let block = self.block;
+            Self::compress(&mut self.lanes, &block);
+            self.fill = 0;
+        }
+        let mut whole = bytes.chunks_exact(64);
+        for block in &mut whole {
+            Self::compress(&mut self.lanes, block.try_into().unwrap());
+        }
+        let tail = whole.remainder();
+        self.block[..tail.len()].copy_from_slice(tail);
+        self.fill = tail.len();
+    }
+
+    /// Pads the tail, folds the lanes and the total length, and returns
+    /// the checksum.
+    pub fn finish(mut self) -> u64 {
+        if self.fill > 0 {
+            let mut block = self.block;
+            block[self.fill..].fill(0);
+            Self::compress(&mut self.lanes, &block);
+        }
+        let mut h = FNV_OFFSET;
+        for v in self
+            .lanes
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.total))
+        {
+            h = (h ^ v).wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+}
+
+impl Default for SnapshotHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Atomically writes a snapshot file: header + progress scalars +
+/// length-prefixed worker chunks + trailing checksum, written to
+/// `<path>.tmp` and renamed into place so an interrupted write never
+/// leaves a torn file at `path`. Single pass: every section is hashed as
+/// it is streamed out, so the multi-megabyte body is never assembled in
+/// memory.
+pub(crate) fn write_snapshot_file(
+    path: &str,
+    header: &[u8],
+    kernel: u32,
+    cycle: u64,
+    base: u64,
+    chunks: &[&[u8]],
+) -> Result<(), String> {
+    use std::io::Write;
+    let mut prefix = Vec::with_capacity(header.len() + 24);
+    prefix.extend_from_slice(header);
+    put_u32(&mut prefix, kernel);
+    put_u64(&mut prefix, cycle);
+    put_u64(&mut prefix, base);
+    put_u32(&mut prefix, chunks.len() as u32);
+
+    let tmp = format!("{path}.tmp");
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating snapshot directory {}: {e}", parent.display()))?;
+        }
+    }
+    let file = std::fs::File::create(&tmp).map_err(|e| format!("creating snapshot {tmp}: {e}"))?;
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, file);
+    let mut h = SnapshotHasher::new();
+    let werr = |e: std::io::Error| format!("writing snapshot {tmp}: {e}");
+    h.update(&prefix);
+    w.write_all(&prefix).map_err(werr)?;
+    for c in chunks {
+        let len = (c.len() as u64).to_le_bytes();
+        h.update(&len);
+        w.write_all(&len).map_err(werr)?;
+        h.update(c);
+        w.write_all(c).map_err(werr)?;
+    }
+    w.write_all(&h.finish().to_le_bytes()).map_err(werr)?;
+    w.into_inner()
+        .map_err(|e| format!("writing snapshot {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("renaming snapshot into {path}: {e}"))?;
+    Ok(())
+}
+
+/// Reads, checksums, and parses a snapshot file into merged,
+/// thread-count-agnostic state.
+pub(crate) fn read_snapshot(path: &str) -> Result<SnapshotData, SimError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| SimError::Snapshot(format!("reading snapshot {path}: {e}")))?;
+    parse_snapshot(&bytes).map_err(|e| SimError::Snapshot(format!("snapshot {path}: {e}")))
+}
+
+fn parse_snapshot(bytes: &[u8]) -> Result<SnapshotData, String> {
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 + 8 {
+        return Err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err("bad magic (not a MuchiSim snapshot)".into());
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(format!(
+            "unsupported snapshot version {version} (this build reads version {SNAPSHOT_VERSION})"
+        ));
+    }
+    let (body, tail) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().unwrap());
+    let mut h = SnapshotHasher::new();
+    h.update(body);
+    let computed = h.finish();
+    if computed != stored {
+        return Err(format!(
+            "checksum mismatch (stored {stored:#018x}, computed {computed:#018x}): file is corrupt"
+        ));
+    }
+
+    let mut r = ByteReader::new(&body[12..]);
+    let config_hash = r.u64()?;
+    let app_name = r.str_()?;
+    let width = r.u32()?;
+    let height = r.u32()?;
+    let pus = r.u32()?;
+    let planes = r.u32()?;
+    let task_types = r.u8()?;
+    let kernels = r.u32()?;
+    let kernel = r.u32()?;
+    let cycle = r.u64()?;
+    let base = r.u64()?;
+    let n_chunks = r.len_capped(8)?;
+
+    let mut max_pu_fs = 0u64;
+    let mut frame_tasks = 0u64;
+    let mut frame_injected = 0u64;
+    let mut frame_ejected = 0u64;
+    let mut frames: Option<FrameLog> = None;
+    let mut planes_state: Vec<PlaneRecord> = (0..planes).map(|_| PlaneRecord::default()).collect();
+    let mut tiles: Vec<TileRecord> = Vec::new();
+    let mut channels: Vec<(u32, u64)> = Vec::new();
+
+    for i in 0..n_chunks {
+        let len = r.u64()? as usize;
+        if len > r.remaining() {
+            return Err(format!(
+                "chunk {i} claims {len} bytes, only {} left",
+                r.remaining()
+            ));
+        }
+        let mut cr = ByteReader::new(r.take(len)?);
+        let chunk = WorkerChunk::decode(&mut cr).map_err(|e| format!("chunk {i}: {e}"))?;
+        cr.expect_end().map_err(|e| format!("chunk {i}: {e}"))?;
+
+        max_pu_fs = max_pu_fs.max(chunk.max_pu_fs);
+        frame_tasks += chunk.frame_tasks;
+        frame_injected += chunk.frame_injected;
+        frame_ejected += chunk.frame_ejected;
+        match frames.as_mut() {
+            None => frames = Some(chunk.frames),
+            Some(log) => log.merge(&chunk.frames),
+        }
+        if chunk.planes.len() != planes_state.len() {
+            return Err(format!(
+                "chunk {i} has {} planes, header says {}",
+                chunk.planes.len(),
+                planes_state.len()
+            ));
+        }
+        for (dst, src) in planes_state.iter_mut().zip(chunk.planes) {
+            dst.counters.merge(&src.counters);
+            dst.latency.merge(&src.latency);
+            dst.packets.extend(src.packets);
+            dst.links.extend(src.links);
+            dst.rr.extend(src.rr);
+            dst.busy_frame.extend(src.busy_frame);
+        }
+        tiles.extend(chunk.tiles);
+        channels.extend(chunk.channels);
+    }
+    r.expect_end()?;
+
+    let total = width as u64 * height as u64;
+    if tiles.len() as u64 != total {
+        return Err(format!(
+            "snapshot holds {} tile records for a {width}x{height} grid ({total} tiles)",
+            tiles.len()
+        ));
+    }
+    tiles.sort_unstable_by_key(|t| t.tile);
+    for (i, t) in tiles.iter().enumerate() {
+        if t.tile as u64 != i as u64 {
+            return Err(format!(
+                "tile record {i} has id {} (duplicate or gap)",
+                t.tile
+            ));
+        }
+    }
+    channels.sort_unstable_by_key(|&(id, _)| id);
+
+    Ok(SnapshotData {
+        config_hash,
+        app_name,
+        width,
+        height,
+        pus,
+        planes,
+        task_types,
+        kernels,
+        kernel,
+        cycle,
+        base,
+        max_pu_fs,
+        frame_tasks,
+        frame_injected,
+        frame_ejected,
+        frames: frames.unwrap_or_else(|| FrameLog::new(1)),
+        planes_state,
+        tiles,
+        channels,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_helpers_round_trip() {
+        let mut b = Vec::new();
+        put_u8(&mut b, 7);
+        put_u16(&mut b, 300);
+        put_u32(&mut b, 70_000);
+        put_u64(&mut b, u64::MAX - 1);
+        put_f32(&mut b, -0.125);
+        put_f64(&mut b, std::f64::consts::PI);
+        put_bool(&mut b, true);
+        put_str(&mut b, "muchisim");
+        put_u32s(&mut b, &[1, 2, 3]);
+        put_u64s(&mut b, &[9]);
+        put_f32s(&mut b, &[1.5, -2.5]);
+        put_f64s(&mut b, &[0.1]);
+        put_bools(&mut b, &[true, false]);
+        let mut r = ByteReader::new(&b);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f32().unwrap(), -0.125);
+        assert_eq!(r.f64().unwrap().to_bits(), std::f64::consts::PI.to_bits());
+        assert!(r.bool_().unwrap());
+        assert_eq!(r.str_().unwrap(), "muchisim");
+        assert_eq!(r.u32s().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u64s().unwrap(), vec![9]);
+        assert_eq!(r.f32s().unwrap(), vec![1.5, -2.5]);
+        assert_eq!(r.f64s().unwrap()[0].to_bits(), 0.1f64.to_bits());
+        assert_eq!(r.bools().unwrap(), vec![true, false]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_absurd_lengths() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(r.u32().is_err());
+        // length prefix claiming more data than present must error
+        let mut b = Vec::new();
+        put_u32(&mut b, u32::MAX);
+        let mut r = ByteReader::new(&b);
+        assert!(r.u32s().is_err());
+        assert_eq!(ByteReader::new(&[]).remaining(), 0);
+    }
+
+    #[test]
+    fn packet_codec_round_trips() {
+        let pkt = Packet::unicast(3, 99, 2, Payload::from_slice(&[7, 8, 9]), 4)
+            .with_reduce(ReduceOp::MaxU32)
+            .ready_at(1234)
+            .born(1200);
+        let mut b = Vec::new();
+        put_packet(&mut b, &pkt);
+        let mut r = ByteReader::new(&b);
+        let back = read_packet(&mut r).unwrap();
+        assert_eq!(back, pkt);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reduce_tags_cover_all_ops() {
+        for op in [
+            None,
+            Some(ReduceOp::SumF32),
+            Some(ReduceOp::SumU32),
+            Some(ReduceOp::MinU32),
+            Some(ReduceOp::MinF32),
+            Some(ReduceOp::MaxU32),
+        ] {
+            assert_eq!(reduce_from_tag(reduce_tag(op)).unwrap(), op);
+        }
+        assert!(reduce_from_tag(99).is_err());
+    }
+
+    #[test]
+    fn worker_chunk_round_trips() {
+        let chunk = WorkerChunk {
+            max_pu_fs: 123_456,
+            frame_tasks: 10,
+            frame_injected: 3,
+            frame_ejected: 2,
+            frames: {
+                let mut log = FrameLog::new(256);
+                log.frames.push(crate::frames::Frame {
+                    index: 0,
+                    start_cycle: 0,
+                    tasks_delta: 5,
+                    router_busy: vec![(1, 2)],
+                    ..Default::default()
+                });
+                log
+            },
+            planes: vec![PlaneRecord {
+                counters: NocCounters {
+                    injected: 9,
+                    onchip_flit_mm: 1.25,
+                    ..Default::default()
+                },
+                latency: {
+                    let mut l = LatencyStats::default();
+                    l.record(17);
+                    l
+                },
+                packets: vec![(
+                    4,
+                    12,
+                    Packet::unicast(0, 4, 1, Payload::from_slice(&[1]), 2).ready_at(7),
+                )],
+                links: vec![(4, 8, 99)],
+                rr: vec![(4, 0, 3)],
+                busy_frame: vec![(4, 11)],
+            }],
+            tiles: vec![TileRecord {
+                tile: 0,
+                init_pending: true,
+                pu_busy_frame: 4,
+                rr_last: 1,
+                pu_clock: vec![100, 200],
+                pu: PuCounters {
+                    int_ops: 42,
+                    ..Default::default()
+                },
+                mem: MemCounters {
+                    sram_reads: 7,
+                    ..Default::default()
+                },
+                cache: Some("{\"x\":1}".into()),
+                iqs: vec![vec![Payload::from_slice(&[5])], vec![]],
+                cqs: vec![
+                    vec![],
+                    vec![OutMsg {
+                        dst: 3,
+                        task: 1,
+                        payload: Payload::from_slice(&[1, 2]),
+                        at_pu_cycle: 88,
+                        reduce: Some(ReduceOp::SumU32),
+                    }],
+                ],
+                scripted: vec![ScheduledSend {
+                    cycle: 50,
+                    dst: 1,
+                    task: 0,
+                    payload: Payload::empty(),
+                    reduce: None,
+                }],
+                app: vec![1, 2, 3],
+            }],
+            channels: vec![(2, 77)],
+        };
+        let bytes = chunk.encode();
+        let mut r = ByteReader::new(&bytes);
+        let back = WorkerChunk::decode(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.max_pu_fs, chunk.max_pu_fs);
+        assert_eq!(back.frames.frames, chunk.frames.frames);
+        assert_eq!(back.planes[0].packets, chunk.planes[0].packets);
+        assert_eq!(back.planes[0].counters, chunk.planes[0].counters);
+        assert_eq!(back.planes[0].latency, chunk.planes[0].latency);
+        assert_eq!(back.tiles[0].iqs, chunk.tiles[0].iqs);
+        assert_eq!(back.tiles[0].cqs, chunk.tiles[0].cqs);
+        assert_eq!(back.tiles[0].scripted, chunk.tiles[0].scripted);
+        assert_eq!(back.tiles[0].cache, chunk.tiles[0].cache);
+        assert_eq!(back.channels, chunk.channels);
+    }
+
+    #[test]
+    fn config_hash_ignores_host_side_knobs() {
+        let base = SystemConfig::builder().chiplet_tiles(4, 4).build().unwrap();
+        let mut leap_off = base.clone();
+        leap_off.time_leap = false;
+        leap_off.active_list = false;
+        let mut ckpt = base.clone();
+        ckpt.checkpoint_every = Some(100);
+        ckpt.checkpoint_path = Some("x.ckpt".into());
+        assert_eq!(config_hash(&base), config_hash(&leap_off));
+        assert_eq!(config_hash(&base), config_hash(&ckpt));
+        let other = SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap();
+        assert_ne!(config_hash(&base), config_hash(&other));
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join("muchisim-snap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir
+            .join(format!("roundtrip-{}.ckpt", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let header = encode_header(0xABCD, "ping", 2, 2, 1, 1, 1, 1);
+        let chunk = WorkerChunk {
+            max_pu_fs: 1,
+            frame_tasks: 0,
+            frame_injected: 0,
+            frame_ejected: 0,
+            frames: FrameLog::new(256),
+            planes: vec![PlaneRecord::default()],
+            tiles: (0..4)
+                .map(|i| TileRecord {
+                    tile: i,
+                    init_pending: false,
+                    pu_busy_frame: 0,
+                    rr_last: 0,
+                    pu_clock: vec![0],
+                    pu: PuCounters::default(),
+                    mem: MemCounters::default(),
+                    cache: None,
+                    iqs: vec![vec![]],
+                    cqs: vec![vec![]],
+                    scripted: vec![],
+                    app: vec![i as u8],
+                })
+                .collect(),
+            channels: vec![],
+        };
+        write_snapshot_file(&path, &header, 0, 42, 7, &[chunk.encode().as_slice()]).unwrap();
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.app_name, "ping");
+        assert_eq!(snap.cycle, 42);
+        assert_eq!(snap.base, 7);
+        assert_eq!(snap.tiles.len(), 4);
+        assert_eq!(snap.tiles[3].app, vec![3]);
+
+        // flip one byte in the middle: checksum must catch it
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let bad = format!("{path}.bad");
+        std::fs::write(&bad, &bytes).unwrap();
+        let err = read_snapshot(&bad).unwrap_err();
+        assert!(matches!(err, SimError::Snapshot(_)), "{err:?}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn snapshot_hasher_is_split_invariant_and_length_aware() {
+        let data: Vec<u8> = (0..1000u32).flat_map(|v| v.to_le_bytes()).collect();
+        let mut one = SnapshotHasher::new();
+        one.update(&data);
+        let whole = one.finish();
+        // any update() split yields the same checksum as one shot
+        for split in [0usize, 1, 7, 63, 64, 65, 512, data.len()] {
+            let mut h = SnapshotHasher::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), whole, "split at {split} diverged");
+        }
+        let mut tiny = SnapshotHasher::new();
+        for b in &data {
+            tiny.update(std::slice::from_ref(b));
+        }
+        assert_eq!(tiny.finish(), whole, "byte-at-a-time diverged");
+        // the length fold distinguishes zero padding from real zeros
+        let mut padded = SnapshotHasher::new();
+        padded.update(&data);
+        padded.update(&[0u8; 3]);
+        assert_ne!(padded.finish(), whole);
+        // and a flipped bit anywhere changes the sum
+        let mut corrupt = data.clone();
+        corrupt[777] ^= 0x10;
+        let mut h = SnapshotHasher::new();
+        h.update(&corrupt);
+        assert_ne!(h.finish(), whole);
+    }
+}

@@ -18,6 +18,18 @@ pub enum DseError {
     Sim(SimError),
     /// The result store could not be read or written.
     Store(String),
+    /// A sweep point sets a single-writer host-side output option that
+    /// cannot coexist with batch execution: concurrent points would
+    /// clobber one shared file, and a checkpoint-resumed point would
+    /// replay writes into it. Names the offending configuration key and
+    /// the first run that sets it.
+    ResumeIncompatible {
+        /// The rejected configuration key (`"frame_spill"`,
+        /// `"noc_trace"` or `"checkpoint_path"`).
+        key: &'static str,
+        /// The run ID of the first point setting the key.
+        run_id: String,
+    },
     /// Reading or writing a file failed.
     Io(std::io::Error),
 }
@@ -30,6 +42,13 @@ impl fmt::Display for DseError {
             DseError::Config(e) => write!(f, "invalid configuration: {e}"),
             DseError::Sim(e) => write!(f, "simulation failed: {e}"),
             DseError::Store(msg) => write!(f, "result store error: {msg}"),
+            DseError::ResumeIncompatible { key, run_id } => write!(
+                f,
+                "point `{run_id}` sets {key}, which is unsupported in sweeps \
+                 (concurrent points would clobber one shared file, and a \
+                 resumed point would replay writes into it); run it via \
+                 `muchisim run`"
+            ),
             DseError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -11,6 +11,14 @@
 //! deterministic (see the leap/parallel determinism tests), so running
 //! points concurrently and out of order changes nothing about the
 //! reported numbers.
+//!
+//! With [`BatchRunner::with_checkpoint_every`], the store-level
+//! resumability extends *into* each point: every simulation periodically
+//! snapshots into `<store>.ckpt/<run_id>.ckpt` (see
+//! `muchisim_core::snapshot`), a killed sweep resumes mid-point from the
+//! latest snapshot, and each point's snapshot is deleted once its record
+//! lands in the store. Checkpointing never changes reported numbers —
+//! the checkpoint determinism suite pins the resumed half bit-for-bit.
 
 use crate::error::DseError;
 use crate::spec::{DatasetSpec, ExperimentSpec, RunPoint};
@@ -18,6 +26,7 @@ use crate::store::{JsonlStore, RunRecord};
 use muchisim_apps::run_benchmark;
 use muchisim_data::Csr;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// What a batch did: how many points ran, were skipped as already
@@ -39,14 +48,29 @@ pub struct BatchOutcome {
 pub struct BatchRunner {
     /// Total host threads the batch may use at once.
     pub host_threads: usize,
+    /// When set, every point checkpoints its simulated state each
+    /// `checkpoint_every` cycles into `<store>.ckpt/<run_id>.ckpt` and
+    /// resumes from that snapshot if one is present, so a killed sweep
+    /// loses at most `checkpoint_every` cycles of the points in flight.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl BatchRunner {
-    /// A runner budgeted to `host_threads` total threads.
+    /// A runner budgeted to `host_threads` total threads, without
+    /// mid-point checkpointing.
     pub fn new(host_threads: usize) -> Self {
         BatchRunner {
             host_threads: host_threads.max(1),
+            checkpoint_every: None,
         }
+    }
+
+    /// Enables mid-point checkpoint/resume: each point snapshots every
+    /// `every` cycles (min 1) next to the store and resumes from its
+    /// snapshot when one exists.
+    pub fn with_checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every.max(1));
+        self
     }
 
     /// Expands and runs `spec`, streaming results into `store`.
@@ -79,24 +103,33 @@ impl BatchRunner {
         store: &mut JsonlStore,
     ) -> Result<BatchOutcome, DseError> {
         let threads_per_run = threads_per_run.max(1);
-        // frame spilling truncates and writes one shared file per
-        // simulation; concurrent sweep points would interleave into the
-        // same path and silently corrupt it, so sweeps refuse it
-        if let Some(point) = points.iter().find(|p| p.config.frame_spill.is_some()) {
-            return Err(DseError::Spec(format!(
-                "point `{}` sets frame_spill, which is unsupported in sweeps \
-                 (concurrent points would clobber one file); run it via `muchisim run`",
-                point.run_id
-            )));
-        }
-        // same single-writer hazard as frame_spill: every point would
-        // truncate and rewrite the one trace path
-        if let Some(point) = points.iter().find(|p| p.config.noc_trace.is_some()) {
-            return Err(DseError::Spec(format!(
-                "point `{}` sets noc_trace, which is unsupported in sweeps \
-                 (concurrent points would clobber one file); record via `muchisim run --trace`",
-                point.run_id
-            )));
+        // single-writer host-side outputs cannot coexist with a batch:
+        // frame spilling and NoC tracing truncate and write one shared
+        // file per simulation (concurrent points would interleave into
+        // the same path and silently corrupt it), and a user-set
+        // checkpoint path would make every point resume from whichever
+        // point snapshotted last — the runner derives its own per-point
+        // paths instead
+        for (key, hit) in [
+            (
+                "frame_spill",
+                points.iter().find(|p| p.config.frame_spill.is_some()),
+            ),
+            (
+                "noc_trace",
+                points.iter().find(|p| p.config.noc_trace.is_some()),
+            ),
+            (
+                "checkpoint_path",
+                points.iter().find(|p| p.config.checkpoint_path.is_some()),
+            ),
+        ] {
+            if let Some(point) = hit {
+                return Err(DseError::ResumeIncompatible {
+                    key,
+                    run_id: point.run_id.clone(),
+                });
+            }
         }
         let done = store.completed_ids();
         let pending: Vec<&RunPoint> = points
@@ -129,6 +162,15 @@ impl BatchRunner {
                 .or_insert_with(|| Arc::new(point.dataset.generate()));
         }
 
+        // per-point snapshots live next to the store, keyed by run ID,
+        // so the two resume layers compose: completed points skip via
+        // the store, the interrupted point resumes via its snapshot
+        let ckpt_dir: Option<PathBuf> = self.checkpoint_every.map(|_| {
+            let mut os = store.path().as_os_str().to_os_string();
+            os.push(".ckpt");
+            PathBuf::from(os)
+        });
+
         let slots = (self.host_threads / threads_per_run).clamp(1, pending.len().max(1));
         let queue = Mutex::new(pending.into_iter());
         let sink: Mutex<(&mut JsonlStore, Vec<DseError>, &mut BatchOutcome)> =
@@ -141,8 +183,21 @@ impl BatchRunner {
                         return;
                     };
                     let graph = Arc::clone(&datasets[&point.dataset]);
-                    let run =
-                        run_benchmark(point.app, point.config.clone(), &graph, threads_per_run);
+                    let mut cfg = point.config.clone();
+                    let ckpt_path = ckpt_dir
+                        .as_ref()
+                        .map(|dir| dir.join(format!("{}.ckpt", point.run_id)));
+                    if let Some(path) = &ckpt_path {
+                        cfg.checkpoint_every = self.checkpoint_every;
+                        cfg.checkpoint_path = Some(path.to_string_lossy().into_owned());
+                        cfg.checkpoint_resume = true; // fresh start if absent
+                    }
+                    let run = run_benchmark(point.app, cfg, &graph, threads_per_run);
+                    if run.is_ok() {
+                        if let Some(path) = &ckpt_path {
+                            let _ = std::fs::remove_file(path);
+                        }
+                    }
                     let mut guard = sink.lock().expect("sink lock");
                     let (store, errors, outcome) = &mut *guard;
                     match run {
@@ -170,6 +225,12 @@ impl BatchRunner {
                 });
             }
         });
+
+        // best-effort: gone entirely once the last point's snapshot is
+        // deleted (remove_dir refuses a non-empty directory)
+        if let Some(dir) = &ckpt_dir {
+            let _ = std::fs::remove_dir(dir);
+        }
 
         let (_, mut errors, _) = sink.into_inner().expect("sink lock");
         match errors.is_empty() {
@@ -261,6 +322,16 @@ mod tests {
         let mut store = JsonlStore::open(&path).unwrap();
         let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
         assert!(
+            matches!(
+                err,
+                DseError::ResumeIncompatible {
+                    key: "frame_spill",
+                    ..
+                }
+            ),
+            "wrong variant: {err:?}"
+        );
+        assert!(
             err.to_string().contains("frame_spill"),
             "unexpected error: {err}"
         );
@@ -287,10 +358,117 @@ mod tests {
         let mut store = JsonlStore::open(&path).unwrap();
         let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
         assert!(
+            matches!(
+                err,
+                DseError::ResumeIncompatible {
+                    key: "noc_trace",
+                    ..
+                }
+            ),
+            "wrong variant: {err:?}"
+        );
+        assert!(
             err.to_string().contains("noc_trace"),
             "unexpected error: {err}"
         );
         assert!(store.records().is_empty(), "nothing may have run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn user_set_checkpoint_path_points_are_rejected() {
+        // the runner derives per-point snapshot paths itself; a shared
+        // user-set path would make every point resume from whichever
+        // point snapshotted last
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "ckpt_reject",
+                "base": ["hierarchy.chiplet.x=2", "hierarchy.chiplet.y=2",
+                         "checkpoint_path=\"/tmp/shared.snap\"",
+                         "checkpoint_every=1000"],
+                "apps": ["bfs"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt_reject.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DseError::ResumeIncompatible {
+                    key: "checkpoint_path",
+                    ..
+                }
+            ),
+            "wrong variant: {err:?}"
+        );
+        assert!(
+            err.to_string().contains("checkpoint_path"),
+            "unexpected error: {err}"
+        );
+        assert!(store.records().is_empty(), "nothing may have run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpointed_batch_resumes_mid_point_and_cleans_up() {
+        let dir =
+            std::env::temp_dir().join(format!("muchisim-dse-midpoint-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec();
+        let points = spec.expand().unwrap();
+
+        // the reference: the same sweep without any checkpointing
+        let plain_path = dir.join("plain.jsonl");
+        let _ = std::fs::remove_file(&plain_path);
+        let mut plain = JsonlStore::open(&plain_path).unwrap();
+        BatchRunner::new(2).run_spec(&spec, &mut plain).unwrap();
+
+        // simulate a sweep killed mid-point: seed the first point's
+        // derived snapshot path with a half-run checkpoint, exactly what
+        // an interrupted checkpointing batch leaves behind
+        let store_path = dir.join("ckpt.jsonl");
+        let _ = std::fs::remove_file(&store_path);
+        let ckpt_dir = dir.join("ckpt.jsonl.ckpt");
+        let graph = Arc::new(points[0].dataset.generate());
+        let probe = run_benchmark(
+            points[0].app,
+            points[0].config.clone(),
+            &graph,
+            spec.threads_per_run,
+        )
+        .unwrap();
+        let seeded = ckpt_dir.join(format!("{}.ckpt", points[0].run_id));
+        let mut half = points[0].config.clone();
+        half.checkpoint_path = Some(seeded.to_string_lossy().into_owned());
+        half.checkpoint_every = Some((probe.runtime_cycles / 2).max(1));
+        run_benchmark(points[0].app, half, &graph, spec.threads_per_run).unwrap();
+        assert!(seeded.exists(), "seeding left no snapshot");
+
+        // the checkpointing batch resumes that point from its snapshot
+        // (and fresh-starts the rest), reporting numbers identical to
+        // the plain sweep
+        let mut store = JsonlStore::open(&store_path).unwrap();
+        let outcome = BatchRunner::new(2)
+            .with_checkpoint_every(500)
+            .run_spec(&spec, &mut store)
+            .unwrap();
+        assert_eq!(outcome.executed, points.len());
+        assert_eq!(outcome.check_failures, 0);
+        for (a, b) in plain.sorted_records().iter().zip(store.sorted_records()) {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.result.runtime_cycles, b.result.runtime_cycles);
+            assert_eq!(a.result.counters, b.result.counters);
+        }
+        // every per-point snapshot was deleted on completion, and the
+        // emptied snapshot directory with it
+        assert!(!seeded.exists(), "completed point left its snapshot");
+        assert!(!ckpt_dir.exists(), "empty snapshot directory survived");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -202,6 +202,38 @@ impl TileMemory {
         &self.counters
     }
 
+    /// The cache-model state as canonical JSON, or `None` in scratchpad
+    /// mode (which holds no dynamic memory state). All cache fields are
+    /// integers and booleans, so the JSON round-trip is exact.
+    pub fn snapshot_cache(&self) -> Option<String> {
+        match &self.mode {
+            Mode::Scratchpad => None,
+            Mode::Cache { cache, .. } => {
+                Some(serde_json::to_string(cache).expect("cache model serializes"))
+            }
+        }
+    }
+
+    /// Overwrites the cache model from a [`TileMemory::snapshot_cache`]
+    /// blob. Errors if this tile is in scratchpad mode or the blob does
+    /// not parse; the static geometry (latencies, line size, prefetch
+    /// policy) is kept from the current configuration.
+    pub fn restore_cache(&mut self, json: &str) -> Result<(), String> {
+        match &mut self.mode {
+            Mode::Scratchpad => Err("snapshot has cache state but tile is a scratchpad".into()),
+            Mode::Cache { cache, .. } => {
+                *cache = serde_json::from_str(json)
+                    .map_err(|e| format!("cache state does not parse: {e}"))?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrites the event counters (checkpoint restore).
+    pub fn restore_counters(&mut self, counters: MemCounters) {
+        self.counters = counters;
+    }
+
     /// Host heap bytes owned by this tile's memory model (the cache tag
     /// array in DRAM mode; zero in scratchpad mode).
     pub fn heap_bytes(&self) -> u64 {

@@ -611,6 +611,130 @@ impl Shard {
     pub fn queued_at(&self, tile: u32, width: u32) -> u32 {
         self.queued_msgs[self.local_of(tile % width, tile / width)]
     }
+
+    // -----------------------------------------------------------------
+    // Checkpointing. Snapshots are taken at a quiescent point — right
+    // after `begin_cycle`, before any `step` — where the pending-push
+    // and pending-free buffers are empty and every in-flight packet
+    // sits in exactly one router input queue.
+    // -----------------------------------------------------------------
+
+    /// Every queued packet as `(global tile, input-port index, packet)`,
+    /// in deterministic order: ascending local router id, ascending
+    /// port, FIFO position within each queue.
+    ///
+    /// Must be called at the post-`begin_cycle` quiescent point; the
+    /// deferred buffers are required to be empty.
+    pub fn snapshot_packets(&self, width: u32) -> Vec<(u32, u8, &Packet)> {
+        debug_assert!(
+            self.pending_pushes.is_empty() && self.pending_frees.is_empty(),
+            "snapshot requires the post-begin_cycle quiescent point"
+        );
+        let mut out = Vec::new();
+        for (local, slot) in self.routers.iter().enumerate() {
+            let Some(router) = slot.as_deref() else {
+                continue;
+            };
+            let tile = self.global_tile(local, width);
+            for (port, queue) in router.queues.iter().enumerate() {
+                for pkt in queue {
+                    out.push((tile, port as u8, pkt));
+                }
+            }
+        }
+        out
+    }
+
+    /// Output links still serializing flits at `now`, as
+    /// `(global tile, direction index, busy_until)`.
+    pub fn snapshot_links(&self, width: u32, now: u64) -> Vec<(u32, u8, u64)> {
+        let mut out = Vec::new();
+        for local in 0..self.queued_msgs.len() {
+            for dir in 0..OUT_DIRS {
+                let until = self.busy_until[local * OUT_DIRS + dir];
+                if until > now {
+                    out.push((self.global_tile(local, width), dir as u8, until));
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-zero round-robin arbitration pointers, as
+    /// `(global tile, direction index, pointer)`.
+    pub fn snapshot_rr(&self, width: u32) -> Vec<(u32, u8, u8)> {
+        let mut out = Vec::new();
+        for local in 0..self.queued_msgs.len() {
+            for dir in 0..OUT_DIRS {
+                let v = self.rr_ptr[local * OUT_DIRS + dir];
+                if v != 0 {
+                    out.push((self.global_tile(local, width), dir as u8, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Non-zero per-router busy counts of the current (open) statistics
+    /// frame, as `(global tile, count)`. Empty when heat-map tracking is
+    /// off (verbosity < V2).
+    pub fn snapshot_busy_frame(&self, width: u32) -> Vec<(u32, u32)> {
+        self.busy_frame
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v > 0)
+            .map(|(local, &v)| (self.global_tile(local, width), v))
+            .collect()
+    }
+
+    /// Re-queues a checkpointed packet into `tile`'s `port` queue,
+    /// rebuilding the occupancy table, the in-flight balance, the
+    /// per-router packet count, the wake cache, and the worklist.
+    ///
+    /// Packets must be restored in their snapshot order (FIFO order is
+    /// load-bearing). Snapshots are taken post-combine, so a restore can
+    /// never trigger an in-network reduction.
+    pub fn restore_packet(&mut self, shared: &SharedNet, tile: u32, port: InPort, pkt: Packet) {
+        let local = self.local_idx(tile, &shared.topo);
+        let qid = shared.topo.queue_id(tile, port);
+        shared.occupancy[qid].fetch_add(pkt.flits as u32, Ordering::Relaxed);
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        if pkt.ready_at < self.wake[local] {
+            self.wake[local] = pkt.ready_at;
+        }
+        let freed = router_mut(&mut self.routers, &mut self.pool, local).push(port.index(), pkt);
+        assert_eq!(freed, 0, "snapshot is post-combine; restore cannot reduce");
+        self.queued_msgs[local] += 1;
+        self.active.activate(local as u32);
+    }
+
+    /// Restores one output link's `busy_until` clock.
+    pub fn restore_link(&mut self, topo: &TopoInfo, tile: u32, dir: u8, until: u64) {
+        let local = self.local_idx(tile, topo);
+        self.busy_until[local * OUT_DIRS + dir as usize] = until;
+    }
+
+    /// Restores one round-robin arbitration pointer.
+    pub fn restore_rr(&mut self, topo: &TopoInfo, tile: u32, dir: u8, val: u8) {
+        let local = self.local_idx(tile, topo);
+        self.rr_ptr[local * OUT_DIRS + dir as usize] = val;
+    }
+
+    /// Restores one router's open-frame busy count (no-op when heat-map
+    /// tracking is off; the count was never captured either).
+    pub fn restore_busy_frame(&mut self, topo: &TopoInfo, tile: u32, val: u32) {
+        let local = self.local_idx(tile, topo);
+        if let Some(b) = self.busy_frame.get_mut(local) {
+            *b = val;
+        }
+    }
+
+    /// Folds checkpointed NoC counters and latency statistics into this
+    /// shard (applied once per plane, to one shard, on restore).
+    pub fn restore_counters(&mut self, counters: &NocCounters, latency: &LatencyStats) {
+        self.counters.merge(counters);
+        self.latency.merge(latency);
+    }
 }
 
 /// A batched injection session at one tile's inject queue (see

@@ -128,6 +128,17 @@ impl Application for TrafficApp {
         self.schedules[tile as usize].clone()
     }
 
+    fn snapshot_tile(&self, state: &u64, out: &mut Vec<u8>) -> Result<(), String> {
+        muchisim_core::snapshot::put_u64(out, *state);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut u64, bytes: &[u8]) -> Result<(), String> {
+        let mut r = muchisim_core::snapshot::ByteReader::new(bytes);
+        *state = r.u64()?;
+        r.expect_end()
+    }
+
     fn check(&self, tiles: &[u64]) -> Result<(), String> {
         for (tile, (&got, &want)) in tiles.iter().zip(&self.expected).enumerate() {
             if got != want {

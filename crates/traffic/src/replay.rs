@@ -121,6 +121,17 @@ impl Application for TraceReplayApp {
         self.schedules[tile as usize].clone()
     }
 
+    fn snapshot_tile(&self, state: &u64, out: &mut Vec<u8>) -> Result<(), String> {
+        muchisim_core::snapshot::put_u64(out, *state);
+        Ok(())
+    }
+
+    fn restore_tile(&self, state: &mut u64, bytes: &[u8]) -> Result<(), String> {
+        let mut r = muchisim_core::snapshot::ByteReader::new(bytes);
+        *state = r.u64()?;
+        r.expect_end()
+    }
+
     fn check(&self, tiles: &[u64]) -> Result<(), String> {
         // in-network reduction may legitimately merge packets, so the
         // delivered count is bounded by — not equal to — the injected one

@@ -38,6 +38,7 @@ muchisim — MuchiSim: design exploration for multi-chip manycore systems
 USAGE:
     muchisim run <app> [scale [side [threads]]] [--telemetry] [--seed N]
                  [--threads N] [--no-active-list] [--trace FILE]
+                 [--checkpoint FILE] [--checkpoint-every N] [--resume]
                  [--set KEY=VALUE]...
     muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--seed N] [--csv]
     muchisim report --store FILE [--set KEY=VALUE]... [--csv]
@@ -62,6 +63,11 @@ SUBCOMMANDS:
              thread count; --no-active-list disables the active-tile
              worklists (full per-cycle sweeps, bit-identical results,
              shorthand for --set active_list=false).
+             --checkpoint FILE snapshots the full simulation state to
+             FILE periodically (--checkpoint-every N cycles, default
+             10000); with --resume the run restores FILE first, if it
+             exists, and continues bit-identically from its cycle (see
+             docs/CHECKPOINT.md). Incompatible with --trace.
     sweep    Expand a JSON experiment spec into run points, execute the
              ones missing from the store concurrently, and print the
              comparison table. Re-invoking skips completed run IDs.
@@ -133,6 +139,9 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut trace_path: Option<String> = None;
     let mut threads_flag: Option<usize> = None;
     let mut no_active_list = false;
+    let mut checkpoint_path: Option<String> = None;
+    let mut checkpoint_every: Option<u64> = None;
+    let mut resume = false;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -149,6 +158,20 @@ fn cmd_run(args: Vec<String>) -> i32 {
                         .unwrap_or_else(|| usage_error("--trace needs a FILE")),
                 )
             }
+            "--checkpoint" => {
+                checkpoint_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--checkpoint needs a FILE")),
+                )
+            }
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_flag_value(
+                    &mut args,
+                    "--checkpoint-every",
+                    "checkpoint cadence",
+                ))
+            }
+            "--resume" => resume = true,
             flag if flag.starts_with('-') => usage_error(format!("unknown flag `{flag}`")),
             _ => positional.push(arg),
         }
@@ -182,6 +205,21 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut cfg = apply_to_config(&base, &overrides).unwrap_or_else(|e| usage_error(e));
     if no_active_list {
         cfg.active_list = false;
+    }
+    // checkpoint flags land after the builder, so re-validate: the
+    // checkpoint rules (path required, incompatible with --trace) must
+    // fail at the command line, not one snapshot cadence into the run
+    if checkpoint_path.is_some() || checkpoint_every.is_some() || resume {
+        cfg.checkpoint_path = checkpoint_path;
+        if cfg.checkpoint_path.is_some() {
+            cfg.checkpoint_every = Some(checkpoint_every.unwrap_or(10_000));
+        } else if checkpoint_every.is_some() {
+            usage_error("--checkpoint-every needs --checkpoint FILE");
+        }
+        cfg.checkpoint_resume = resume;
+        if let Err(e) = cfg.validate() {
+            usage_error(e);
+        }
     }
     // --seed drives both generators so one flag makes the whole run
     // reproducible; an explicit --set traffic.seed still wins

@@ -1,0 +1,163 @@
+//! Negative-path coverage for the snapshot format: corrupt, truncated,
+//! or incompatible checkpoint files must fail with a clean
+//! [`SimError::Snapshot`] — never a panic, never a silently-wrong resume.
+//!
+//! [`SimError::Snapshot`]: muchisim::core::SimError
+
+use muchisim::apps::{run_benchmark, Benchmark};
+use muchisim::config::{SystemConfig, Verbosity};
+use muchisim::core::snapshot::SnapshotHasher;
+use muchisim::data::rmat::RmatConfig;
+use muchisim::data::Csr;
+use std::sync::Arc;
+
+fn cfg(side: u32) -> SystemConfig {
+    SystemConfig::builder()
+        .chiplet_tiles(side, side)
+        .verbosity(Verbosity::V3)
+        .frame_interval_cycles(256)
+        .build()
+        .expect("valid config")
+}
+
+/// Writes a valid BFS snapshot to `path` and returns its bytes.
+fn write_valid_snapshot(path: &str, graph: &Arc<Csr>) -> Vec<u8> {
+    let probe = run_benchmark(Benchmark::Bfs, cfg(4), graph, 1).expect("probe runs");
+    let mut c = cfg(4);
+    c.checkpoint_path = Some(path.to_string());
+    c.checkpoint_every = Some((probe.runtime_cycles / 2).max(1));
+    run_benchmark(Benchmark::Bfs, c, graph, 1).expect("checkpointing run");
+    std::fs::read(path).expect("snapshot file exists")
+}
+
+/// Re-stamps the trailing checksum (the last 8 bytes cover every
+/// preceding byte), so mutations ahead of it reach their own validation
+/// step instead of tripping the checksum first.
+fn restamp_checksum(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let mut h = SnapshotHasher::new();
+    h.update(&bytes[..n - 8]);
+    bytes[n - 8..].copy_from_slice(&h.finish().to_le_bytes());
+}
+
+/// Resumes from `path` and returns the error message (panics on success).
+fn resume_error(path: &str, graph: &Arc<Csr>, config: SystemConfig) -> String {
+    let mut c = config;
+    c.checkpoint_path = Some(path.to_string());
+    c.checkpoint_resume = true;
+    match run_benchmark(Benchmark::Bfs, c, graph, 1) {
+        Ok(_) => panic!("resume from a damaged snapshot succeeded"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn damaged_snapshots_fail_with_clean_errors() {
+    let graph = Arc::new(RmatConfig::scale(5).generate(0xC0FF_EE00));
+    let dir = std::env::temp_dir();
+    let valid_path = dir
+        .join(format!("muchisim-robust-{}-valid.snap", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let valid = write_valid_snapshot(&valid_path, &graph);
+    assert!(valid.len() > 40, "snapshot suspiciously small");
+
+    type Mutate = fn(&mut Vec<u8>);
+    let table: [(&str, Mutate, &str); 8] = [
+        ("empty file", |b| b.clear(), "snapshot failed"),
+        ("truncated header", |b| b.truncate(10), "snapshot failed"),
+        (
+            "truncated body",
+            |b| {
+                let half = b.len() / 2;
+                b.truncate(half);
+            },
+            "snapshot failed",
+        ),
+        (
+            "one byte short",
+            |b| {
+                b.pop();
+            },
+            "snapshot failed",
+        ),
+        (
+            "flipped payload bit",
+            |b| {
+                let mid = b.len() / 2;
+                b[mid] ^= 0x40;
+            },
+            "checksum",
+        ),
+        (
+            "bad magic",
+            |b| {
+                b[0] ^= 0xFF;
+                restamp_checksum(b);
+            },
+            "not a MuchiSim snapshot",
+        ),
+        (
+            "future version",
+            |b| {
+                // version is the u32 right after the 8-byte magic; the
+                // checksum must be re-stamped or it fires first
+                b[8] = b[8].wrapping_add(1);
+                restamp_checksum(b);
+            },
+            "version",
+        ),
+        (
+            "trailing garbage",
+            |b| b.extend_from_slice(&[0xAB; 16]),
+            "snapshot failed",
+        ),
+    ];
+
+    for (name, mutate, want) in table {
+        let mut bytes = valid.clone();
+        mutate(&mut bytes);
+        let path = dir
+            .join(format!(
+                "muchisim-robust-{}-{}.snap",
+                std::process::id(),
+                name.replace(' ', "-")
+            ))
+            .to_string_lossy()
+            .into_owned();
+        std::fs::write(&path, &bytes).expect("write mutated snapshot");
+        let err = resume_error(&path, &graph, cfg(4));
+        assert!(
+            err.contains("snapshot failed"),
+            "{name}: error is not a clean SimError::Snapshot: {err}"
+        );
+        assert!(err.contains(want), "{name}: error lacks `{want}`: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // a pristine file under the wrong configuration is rejected by the
+    // identity header, with the mismatch spelled out
+    let err = resume_error(&valid_path, &graph, cfg(8));
+    assert!(
+        err.contains("snapshot failed"),
+        "config mismatch is not a clean SimError::Snapshot: {err}"
+    );
+    assert!(
+        err.contains("configuration") || err.contains("grid"),
+        "config mismatch error is unhelpful: {err}"
+    );
+
+    // and a different application on the same grid is rejected by name
+    let mut c = cfg(4);
+    c.checkpoint_path = Some(valid_path.clone());
+    c.checkpoint_resume = true;
+    let err = match run_benchmark(Benchmark::Spmv, c, &graph, 1) {
+        Ok(_) => panic!("resume under the wrong application succeeded"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        err.contains("application") || err.contains("bfs"),
+        "app mismatch error is unhelpful: {err}"
+    );
+    let _ = std::fs::remove_file(&valid_path);
+}

@@ -18,7 +18,7 @@
 
 use muchisim::apps::{run_benchmark, Benchmark};
 use muchisim::config::{NocTopology, SystemConfig, Verbosity};
-use muchisim::core::SimResult;
+use muchisim::core::digest::trace_checksum as checksum;
 use muchisim::data::rmat::RmatConfig;
 use serde_json::JsonValue;
 use std::fmt::Write as _;
@@ -27,66 +27,6 @@ use std::sync::Arc;
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/traces.json");
 const GRAPH_SEED: u64 = 0xC0FF_EE00;
 const GRAPH_SCALE: u32 = 5; // 32 vertices, enough traffic on 8x8
-
-/// FNV-1a, 64-bit.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= b as u64;
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    fn u64(&mut self, v: u64) {
-        self.bytes(&v.to_le_bytes());
-    }
-}
-
-/// Checksums everything the simulation *means*: runtime, every counter,
-/// and per-frame scalar deltas plus the dense per-tile activity grids.
-///
-/// Grids (not raw sparse pairs) are hashed deliberately: the order in
-/// which workers contribute sparse `(tile, value)` pairs is a host-side
-/// artifact, while the dense grid is the simulated quantity.
-fn checksum(result: &SimResult, total_tiles: u32) -> u64 {
-    let mut h = Fnv::new();
-    h.u64(result.runtime_cycles);
-    // counters via their canonical JSON (field order is declaration
-    // order in the shim, floats are bit-exact across runs)
-    h.bytes(
-        serde_json::to_string(&result.counters)
-            .expect("counters serialize")
-            .as_bytes(),
-    );
-    h.u64(result.frames.interval_cycles);
-    h.u64(result.frames.len() as u64);
-    for frame in &result.frames.frames {
-        h.u64(frame.index);
-        h.u64(frame.start_cycle);
-        h.u64(frame.tasks_delta);
-        h.u64(frame.injected_delta);
-        h.u64(frame.ejected_delta);
-        for grid in [frame.router_grid(total_tiles), frame.pu_grid(total_tiles)] {
-            for v in grid {
-                h.u64(v as u64);
-            }
-        }
-        let mut iq = vec![0u64; total_tiles as usize];
-        for &(t, v) in &frame.iq_occupancy {
-            iq[t as usize] += v as u64;
-        }
-        for v in iq {
-            h.u64(v);
-        }
-    }
-    h.0
-}
 
 fn config(side: u32, topo: NocTopology, ruche: Option<u32>) -> SystemConfig {
     let mut b = SystemConfig::builder();
