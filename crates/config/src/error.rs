@@ -55,6 +55,11 @@ pub enum ConfigError {
         /// What is wrong with them.
         why: &'static str,
     },
+    /// The telemetry/ward parameters are invalid.
+    Telemetry {
+        /// What is wrong with them.
+        why: &'static str,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -97,6 +102,9 @@ impl fmt::Display for ConfigError {
             ConfigError::Checkpoint { why } => {
                 write!(f, "invalid checkpoint configuration: {why}")
             }
+            ConfigError::Telemetry { why } => {
+                write!(f, "invalid telemetry configuration: {why}")
+            }
         }
     }
 }
@@ -122,6 +130,7 @@ mod tests {
             ConfigError::ZeroLinkMux.to_string(),
             ConfigError::Traffic { why: "rate" }.to_string(),
             ConfigError::Checkpoint { why: "path" }.to_string(),
+            ConfigError::Telemetry { why: "cadence" }.to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'), "{m}");

@@ -39,6 +39,7 @@ mod hierarchy;
 mod params;
 pub mod presets;
 mod system;
+mod telemetry;
 mod traffic;
 mod units;
 
@@ -52,5 +53,6 @@ pub use system::{
     QueueConfig, ReductionTreeConfig, SchedulingPolicy, SystemConfig, SystemConfigBuilder,
     Verbosity,
 };
+pub use telemetry::{ConvergedWard, TelemetryParams, WardMetric, WardParams};
 pub use traffic::{TrafficParams, TrafficPattern};
 pub use units::{Area, Energy, Frequency, TimePs};

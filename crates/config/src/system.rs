@@ -3,6 +3,7 @@
 use crate::error::ConfigError;
 use crate::hierarchy::{Extent, Hierarchy, LinkClass, TileCoord};
 use crate::params::ModelParams;
+use crate::telemetry::TelemetryParams;
 use crate::traffic::TrafficParams;
 use crate::units::{Frequency, TimePs};
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,13 @@ pub struct SystemConfig {
     /// benchmarks; inert for ordinary applications). Sweepable like any
     /// other field: `traffic.pattern=Transpose`, `traffic.rate=0.08`.
     pub traffic: TrafficParams,
+    /// Telemetry sampling cadence, metric-stream destinations, and ward
+    /// stop-conditions. Default-off; absent in pre-telemetry JSON
+    /// configs, which deserialize to the disabled default. Sweepable like
+    /// any other field: `telemetry.sample_every=1024`,
+    /// `telemetry.wards.stall_cycles=50000`.
+    #[serde(default)]
+    pub telemetry: TelemetryParams,
     /// Whether the cycle driver may leap over provably event-free cycle
     /// ranges instead of stepping them one by one.
     ///
@@ -320,6 +328,7 @@ impl Default for SystemConfig {
             checkpoint_path: None,
             checkpoint_resume: false,
             traffic: TrafficParams::default(),
+            telemetry: TelemetryParams::default(),
             time_leap: true,
             active_list: true,
             verbosity: Verbosity::default(),
@@ -515,6 +524,19 @@ impl SystemConfig {
             }
         }
         self.traffic.validate()?;
+        self.telemetry.validate()?;
+        if self.telemetry.snapshot_on_trip {
+            if self.checkpoint_path.is_none() {
+                return Err(ConfigError::Telemetry {
+                    why: "snapshot_on_trip requires checkpoint_path",
+                });
+            }
+            if !self.telemetry.enabled() {
+                return Err(ConfigError::Telemetry {
+                    why: "snapshot_on_trip requires an enabled ward or metrics stream",
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -710,6 +732,12 @@ impl SystemConfigBuilder {
     /// Replaces the synthetic-traffic parameters.
     pub fn traffic(&mut self, traffic: TrafficParams) -> &mut Self {
         self.cfg.traffic = traffic;
+        self
+    }
+
+    /// Replaces the telemetry/ward parameters.
+    pub fn telemetry(&mut self, telemetry: TelemetryParams) -> &mut Self {
+        self.cfg.telemetry = telemetry;
         self
     }
 
@@ -954,6 +982,46 @@ mod tests {
                 why: "rate must be a finite value in [0, 1]"
             }
         );
+    }
+
+    #[test]
+    fn telemetry_knobs_default_round_trip_and_cross_validate() {
+        let cfg = SystemConfig::default();
+        assert_eq!(cfg.telemetry, crate::TelemetryParams::default());
+        // a config serialized before the telemetry field existed still loads
+        let mut value = Serialize::to_value(&cfg);
+        if let serde::value::Value::Object(m) = &mut value {
+            assert!(m.remove("telemetry").is_some());
+        }
+        let back = SystemConfig::from_value(&value).unwrap();
+        assert_eq!(back.telemetry, crate::TelemetryParams::default());
+        // the builder + whole-config validation path
+        let telemetry = crate::TelemetryParams {
+            sample_every: Some(512),
+            wards: crate::WardParams {
+                stall_cycles: Some(20_000),
+                ..crate::WardParams::default()
+            },
+            ..crate::TelemetryParams::default()
+        };
+        let cfg = SystemConfig::builder()
+            .telemetry(telemetry.clone())
+            .build()
+            .unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let round: SystemConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(round.telemetry, telemetry);
+        // snapshot_on_trip needs a checkpoint path to dump into
+        let mut bad = cfg;
+        bad.telemetry.snapshot_on_trip = true;
+        assert_eq!(
+            bad.validate().unwrap_err(),
+            ConfigError::Telemetry {
+                why: "snapshot_on_trip requires checkpoint_path"
+            }
+        );
+        bad.checkpoint_path = Some("target/trip.snap".into());
+        assert!(bad.validate().is_ok());
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct Simulation<A: Application> {
     /// Explicit shard column boundaries (activity-balanced runs);
     /// `None` splits evenly by [`split_columns`].
     boundaries: Option<Vec<u32>>,
+    /// Extra telemetry subscribers attached via
+    /// [`Simulation::with_subscriber`] (tests, embedding hosts), fed by
+    /// the same sample stream as the configured file subscribers.
+    subscribers: Vec<Box<dyn muchisim_telemetry::Subscriber>>,
 }
 
 impl<A: Application> Simulation<A> {
@@ -78,12 +82,22 @@ impl<A: Application> Simulation<A> {
             cycle_limit: u64::MAX / 4,
             stop_at_limit: false,
             boundaries: None,
+            subscribers: Vec::new(),
         })
     }
 
     /// Sets an upper bound on simulated NoC cycles per kernel.
     pub fn with_cycle_limit(mut self, limit: u64) -> Self {
         self.cycle_limit = limit;
+        self
+    }
+
+    /// Attaches an extra telemetry subscriber (e.g. a
+    /// [`MemorySubscriber`](muchisim_telemetry::MemorySubscriber) in
+    /// tests). Samples flow only when `SystemConfig::telemetry` sets a
+    /// `sample_every` cadence.
+    pub fn with_subscriber(mut self, subscriber: Box<dyn muchisim_telemetry::Subscriber>) -> Self {
+        self.subscribers.push(subscriber);
         self
     }
 
@@ -119,7 +133,8 @@ impl<A: Application> Simulation<A> {
     /// path that cannot be created, and [`SimError::Snapshot`] when a
     /// checkpoint file is corrupt, incompatible with this configuration,
     /// or cannot be written.
-    pub fn run_parallel(self, threads: usize) -> Result<SimResult, SimError> {
+    pub fn run_parallel(mut self, threads: usize) -> Result<SimResult, SimError> {
+        let subscribers = std::mem::take(&mut self.subscribers);
         let spill = match &self.cfg.frame_spill {
             Some(path) => Some(
                 FrameSpill::create(path, self.cfg.frame_interval_cycles.max(1))
@@ -164,6 +179,7 @@ impl<A: Application> Simulation<A> {
             self.cycle_limit,
             self.stop_at_limit,
             resume,
+            subscribers,
         )
     }
 
@@ -330,6 +346,11 @@ pub(crate) struct Worker<A: Application> {
     frame_tasks: u64,
     frame_injected: u64,
     frame_ejected: u64,
+    /// Tasks executed since the worker was built (telemetry; unlike
+    /// `frame_tasks`, never reset at frame capture). Not persisted in
+    /// snapshots — after a resume, telemetry deltas restart from the
+    /// restore point, exactly like the ward engine's state.
+    cum_tasks: u64,
     busy_grid: Vec<u32>,
     sends: Vec<OutMsg>,
     /// Host nanoseconds spent per driver phase by this worker (the
@@ -435,6 +456,7 @@ impl<A: Application> Worker<A> {
             frame_tasks: 0,
             frame_injected: 0,
             frame_ejected: 0,
+            cum_tasks: 0,
             // the per-tile scratch grid is only ever read by V2+ frame
             // captures; below that it would be dead weight per worker
             busy_grid: if cfg.verbosity >= Verbosity::V2 {
@@ -584,6 +606,7 @@ impl<A: Application> Worker<A> {
                 self.pu_busy_frame[local] =
                     self.pu_busy_frame[local].saturating_add(duration.min(u32::MAX as u64) as u32);
                 self.frame_tasks += 1;
+                self.cum_tasks += 1;
                 let end_fs = self.clock.pu_cycle_fs(end);
                 if end_fs > self.max_pu_fs {
                     self.max_pu_fs = end_fs;
@@ -970,6 +993,65 @@ impl<A: Application> Worker<A> {
             total.pu.merge(&t.counters);
             total.mem.merge(t.mem.counters());
         }
+    }
+
+    /// Deposits this worker's share of a telemetry sample: cumulative
+    /// task/message counters, activity gauges, and NoC statistics over
+    /// its shards. Cheap (no per-tile sweep), read-only, and built from
+    /// deterministic simulation state only — host timing is added by the
+    /// leader's aggregator.
+    pub fn telemetry_sample(&self, shards: &[&mut Shard]) -> muchisim_telemetry::WorkerSample {
+        let mut s = muchisim_telemetry::WorkerSample {
+            tasks: self.cum_tasks,
+            pending: self.msg_count,
+            active_tiles: self.active.active_count() as u64,
+            tiles: self.tiles.len() as u64,
+            ..Default::default()
+        };
+        for shard in shards.iter() {
+            let c = shard.counters();
+            s.injected += c.injected;
+            s.ejected += c.ejected;
+            s.flit_hops += c.flit_hops_by_class.iter().sum::<u64>();
+            s.queued_msgs += shard.queued_packets();
+            s.active_routers += shard.active_routers() as u64;
+            s.latency.merge(shard.latency());
+        }
+        s.phase_ns = [
+            self.phase.pu,
+            self.phase.inject,
+            self.phase.net,
+            self.phase.worklist,
+        ];
+        s
+    }
+
+    /// Per-tile queue backlog for a ward report: IQ/CQ/scripted message
+    /// counts plus packets parked in this tile's router input queues,
+    /// for every local tile with a non-zero backlog, worst first
+    /// (capped at `top`). Only runs on the slow path after a ward trips.
+    pub fn telemetry_diag(&self, shards: &[&mut Shard], top: usize) -> Vec<crate::ward::TileDiag> {
+        let mut diags: Vec<crate::ward::TileDiag> = Vec::new();
+        for local in 0..self.tiles.len() {
+            let tile = self.slice.global(local);
+            let parked = shards
+                .iter()
+                .map(|s| s.queued_at(tile, self.grid.width))
+                .sum::<u32>();
+            let d = crate::ward::TileDiag {
+                tile,
+                iq_msgs: self.iq_msgs[local],
+                cq_msgs: self.cq_msgs[local],
+                scripted: self.scripted.get(local).map_or(0, |q| q.len() as u32),
+                parked_packets: parked,
+            };
+            if d.backlog() > 0 {
+                diags.push(d);
+            }
+        }
+        diags.sort_by(|a, b| b.backlog().cmp(&a.backlog()).then(a.tile.cmp(&b.tile)));
+        diags.truncate(top);
+        diags
     }
 
     /// Total host bytes of this worker's simulation state: the tile
@@ -1505,6 +1587,7 @@ pub(crate) fn finish<A: Application>(
         host_state_bytes,
         check_error,
         column_activity,
+        termination: "finished".into(),
     }
 }
 

@@ -1,11 +1,16 @@
 //! Simulation errors.
 
+use crate::ward::WardReport;
 use muchisim_config::ConfigError;
 use std::error::Error;
 use std::fmt;
 
 /// An error constructing or running a simulation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`PartialEq` only, not `Eq`: [`SimError::Ward`] carries a partial
+/// [`SimResult`](crate::SimResult), whose floating-point fields rule out
+/// total equality.)
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum SimError {
     /// The system configuration failed validation.
@@ -45,6 +50,18 @@ pub enum SimError {
         /// Description of the failure.
         String,
     ),
+    /// A telemetry ward terminated the run. The report carries the
+    /// tripped predicate, per-tile queue diagnostics, and the partial
+    /// result up to the trip cycle.
+    Ward(
+        /// The structured trip report.
+        Box<WardReport>,
+    ),
+    /// A telemetry metrics stream could not be created or written.
+    Telemetry(
+        /// Description of the I/O failure.
+        String,
+    ),
 }
 
 impl fmt::Display for SimError {
@@ -70,6 +87,8 @@ impl fmt::Display for SimError {
             SimError::FrameSpill(why) => write!(f, "frame spill failed: {why}"),
             SimError::Trace(why) => write!(f, "NoC trace failed: {why}"),
             SimError::Snapshot(why) => write!(f, "snapshot failed: {why}"),
+            SimError::Ward(report) => write!(f, "{report}"),
+            SimError::Telemetry(why) => write!(f, "telemetry stream failed: {why}"),
         }
     }
 }
@@ -104,6 +123,19 @@ mod tests {
         assert!(SimError::Snapshot("bad magic".into())
             .to_string()
             .contains("snapshot failed: bad magic"));
+        let ward = SimError::Ward(Box::new(crate::ward::WardReport {
+            ward: "stall".into(),
+            cycle: 10,
+            detail: "wedged".into(),
+            tiles: Vec::new(),
+            snapshot_path: None,
+            snapshot_error: None,
+            partial: None,
+        }));
+        assert!(ward.to_string().contains("ward `stall` tripped"));
+        assert!(SimError::Telemetry("no space".into())
+            .to_string()
+            .contains("telemetry stream failed"));
     }
 
     #[test]

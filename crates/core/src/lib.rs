@@ -80,6 +80,7 @@ mod sched;
 mod slice;
 pub mod snapshot;
 mod tile;
+mod ward;
 
 pub use app::{Application, GridInfo, OutMsg, ScheduledSend, SoftwareConfig, TaskCtx};
 pub use counters::{PuCounters, SimCounters};
@@ -88,4 +89,6 @@ pub use error::SimError;
 pub use frames::{read_spill_jsonl, Frame, FrameLog, FrameSink, FrameSpill};
 pub use horizon::EventHorizon;
 pub use muchisim_noc::{LatencyStats, Payload, ReduceOp};
+pub use muchisim_telemetry::{MemorySubscriber, MetricsSample, Subscriber, WardTrip};
 pub use tile::{HostPhaseNs, SimResult};
+pub use ward::{TileDiag, WardReport};

@@ -36,10 +36,20 @@ use crate::app::Application;
 use crate::engine::{finish, SimSetup, Worker};
 use crate::error::SimError;
 use crate::tile::SimResult;
+use crate::ward::{TileDiag, WardReport};
 use muchisim_config::SystemConfig;
 use muchisim_noc::{Shard, SharedNet};
+use muchisim_telemetry::{
+    CsvSubscriber, JsonlSubscriber, ProgressSubscriber, SampleAggregator, Subscriber, TelemetryHub,
+    WardEngine, WardTrip, WorkerSample,
+};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Worst-backlogged tiles each worker contributes to a ward report (the
+/// merged report is truncated to the same count).
+const DIAG_TILES: usize = 8;
 
 /// A sense-reversing centralized spin barrier.
 ///
@@ -159,6 +169,101 @@ impl CheckpointState {
     }
 }
 
+/// Shared state for the telemetry sample/ward pipeline.
+///
+/// Workers deposit [`WorkerSample`]s at sample cycles; the decision-phase
+/// barrier leader merges them, evaluates the wards, and hands the merged
+/// sample to the hub's subscriber thread without blocking. Everything the
+/// wards read is deterministic simulated state, so a trip lands on the
+/// same cycle for any host-thread count or leap/worklist mode.
+struct TelemetryState {
+    /// Sample cadence: cycle `c` is a sample cycle when
+    /// `(c + 1) % every == 0` (the end of each `every`-cycle block).
+    every: u64,
+    /// One deposit slot per worker, written before the decision barrier.
+    samples: Vec<Mutex<WorkerSample>>,
+    /// Leader-only aggregation state, locked only at sample cycles.
+    leader: Mutex<LeaderState>,
+    /// Fan-out to the subscriber thread (never blocks the barrier).
+    hub: TelemetryHub,
+    /// The first tripped ward, set by the leader.
+    trip: Mutex<Option<WardTrip>>,
+    /// Cycle at (or after) which the post-mortem trip snapshot must be
+    /// taken; `u64::MAX` while no trip snapshot is pending.
+    snap_at: AtomicU64,
+    /// A ward tripped and the run is terminating.
+    tripped: AtomicBool,
+    /// Write a snapshot to the checkpoint path before terminating on a
+    /// trip.
+    snapshot_on_trip: bool,
+    /// Per-worker diagnostic slots, filled once `tripped` is set.
+    diags: Vec<Mutex<Vec<TileDiag>>>,
+}
+
+/// Aggregator + ward engine, owned by whichever thread wins the barrier.
+struct LeaderState {
+    agg: SampleAggregator,
+    wards: WardEngine,
+    /// Scratch for the per-sample merge (reused, never reallocated).
+    merged: Vec<WorkerSample>,
+}
+
+impl TelemetryState {
+    fn is_sample_cycle(&self, cycle: u64) -> bool {
+        (cycle + 1).is_multiple_of(self.every)
+    }
+}
+
+/// Builds the telemetry pipeline when the configuration (or an attached
+/// test subscriber) asks for one.
+fn telemetry_state(
+    cfg: &SystemConfig,
+    resume: Option<ResumeState>,
+    extra: Vec<Box<dyn Subscriber>>,
+    nworkers: usize,
+) -> Result<Option<TelemetryState>, SimError> {
+    let t = &cfg.telemetry;
+    let Some(every) = t.sample_every else {
+        return Ok(None);
+    };
+    if !t.wants_sampling() && extra.is_empty() {
+        return Ok(None);
+    }
+    let mut subs: Vec<Box<dyn Subscriber>> = Vec::new();
+    if let Some(path) = &t.metrics_path {
+        subs.push(Box::new(
+            JsonlSubscriber::create(path).map_err(SimError::Telemetry)?,
+        ));
+    }
+    if let Some(path) = &t.metrics_csv {
+        subs.push(Box::new(
+            CsvSubscriber::create(path).map_err(SimError::Telemetry)?,
+        ));
+    }
+    if t.progress {
+        subs.push(Box::new(ProgressSubscriber::new(t.wards.max_cycles)));
+    }
+    subs.extend(extra);
+    let start_cycle = resume.map_or(0, |r| r.cycle);
+    Ok(Some(TelemetryState {
+        every: every.max(1),
+        samples: (0..nworkers)
+            .map(|_| Mutex::new(WorkerSample::default()))
+            .collect(),
+        leader: Mutex::new(LeaderState {
+            agg: SampleAggregator::new(start_cycle),
+            wards: WardEngine::new(t.wards.clone(), start_cycle),
+            merged: Vec::with_capacity(nworkers),
+        }),
+        hub: TelemetryHub::spawn(subs),
+        trip: Mutex::new(None),
+        snap_at: AtomicU64::new(u64::MAX),
+        tripped: AtomicBool::new(false),
+        snapshot_on_trip: t.snapshot_on_trip,
+        diags: (0..nworkers).map(|_| Mutex::new(Vec::new())).collect(),
+    }))
+}
+
 /// Runs the whole simulation and assembles the result.
 pub(crate) fn drive<A: Application>(
     cfg: &SystemConfig,
@@ -167,6 +272,7 @@ pub(crate) fn drive<A: Application>(
     cycle_limit: u64,
     stop_at_limit: bool,
     resume: Option<ResumeState>,
+    subscribers: Vec<Box<dyn Subscriber>>,
 ) -> Result<SimResult, SimError> {
     let started = Instant::now();
     let SimSetup {
@@ -178,27 +284,33 @@ pub(crate) fn drive<A: Application>(
     let termination = cfg.termination_latency_cycles();
     let kernels = app.kernels();
     let leap = cfg.time_leap;
+    // a checkpoint slot is also needed without a periodic cadence when a
+    // ward trip may want a post-mortem snapshot (cadence u64::MAX then:
+    // no periodic boundary is ever crossed)
     let ckpt = match (&cfg.checkpoint_path, cfg.checkpoint_every) {
-        (Some(path), Some(every)) => Some(CheckpointState {
-            every: every.max(1),
-            path: path.clone(),
-            header: crate::snapshot::encode_header(
-                crate::snapshot::config_hash(cfg),
-                app.name(),
-                cfg.width(),
-                cfg.height(),
-                cfg.pus_per_tile,
-                cfg.noc.num_physical.max(1),
-                app.task_types(),
-                kernels,
-            ),
-            chunks: (0..nworkers)
-                .map(|_| std::sync::Mutex::new(Vec::new()))
-                .collect(),
-            error: std::sync::Mutex::new(None),
-        }),
+        (Some(path), every) if every.is_some() || cfg.telemetry.snapshot_on_trip => {
+            Some(CheckpointState {
+                every: every.map_or(u64::MAX, |e| e.max(1)),
+                path: path.clone(),
+                header: crate::snapshot::encode_header(
+                    crate::snapshot::config_hash(cfg),
+                    app.name(),
+                    cfg.width(),
+                    cfg.height(),
+                    cfg.pus_per_tile,
+                    cfg.noc.num_physical.max(1),
+                    app.task_types(),
+                    kernels,
+                ),
+                chunks: (0..nworkers)
+                    .map(|_| std::sync::Mutex::new(Vec::new()))
+                    .collect(),
+                error: std::sync::Mutex::new(None),
+            })
+        }
         _ => None,
     };
+    let telem = telemetry_state(cfg, resume, subscribers, nworkers)?;
     let runtime_cycles;
     {
         // hand each worker its shard of every NoC plane
@@ -224,6 +336,7 @@ pub(crate) fn drive<A: Application>(
                 let sync = &sync;
                 let final_cycle = &final_cycle;
                 let ckpt = ckpt.as_ref();
+                let telem = telem.as_ref();
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         worker,
@@ -240,6 +353,7 @@ pub(crate) fn drive<A: Application>(
                         nworkers,
                         resume,
                         ckpt,
+                        telem,
                     );
                 }));
             }
@@ -258,12 +372,71 @@ pub(crate) fn drive<A: Application>(
                 nworkers,
                 resume,
                 ckpt.as_ref(),
+                telem.as_ref(),
             );
             for h in handles {
                 h.join().expect("worker thread panicked");
             }
         });
         runtime_cycles = final_cycle.load(Ordering::Acquire);
+    }
+    // telemetry teardown: close the subscriber stream, then surface a
+    // ward trip (which outranks stream and checkpoint errors — those are
+    // folded into its report instead of masking it)
+    let mut stream_error: Option<String> = None;
+    let mut ward_trip: Option<(WardTrip, Vec<TileDiag>)> = None;
+    if let Some(t) = telem {
+        let TelemetryState {
+            hub,
+            trip,
+            tripped,
+            diags,
+            ..
+        } = t;
+        stream_error = hub.close().err();
+        if tripped.into_inner() {
+            let trip = trip
+                .into_inner()
+                .expect("telemetry trip lock")
+                .expect("tripped implies a recorded trip");
+            let mut tiles: Vec<TileDiag> = diags
+                .into_iter()
+                .flat_map(|m| m.into_inner().expect("telemetry diag lock"))
+                .collect();
+            tiles.sort_by(|a, b| b.backlog().cmp(&a.backlog()).then(a.tile.cmp(&b.tile)));
+            tiles.truncate(DIAG_TILES);
+            ward_trip = Some((trip, tiles));
+        }
+    }
+    if let Some((trip, tiles)) = ward_trip {
+        let snapshot_error = ckpt
+            .as_ref()
+            .and_then(|c| c.error.lock().expect("checkpoint error lock").take());
+        let snapshot_path = (cfg.telemetry.snapshot_on_trip && snapshot_error.is_none())
+            .then(|| cfg.checkpoint_path.clone())
+            .flatten();
+        let mut partial = finish(
+            cfg,
+            app,
+            workers,
+            networks,
+            runtime_cycles,
+            started,
+            nworkers,
+        );
+        partial.termination = format!("ward:{}", trip.ward);
+        return Err(SimError::Ward(Box::new(WardReport {
+            ward: trip.ward.to_string(),
+            cycle: trip.cycle,
+            detail: trip.detail,
+            tiles,
+            snapshot_path,
+            snapshot_error,
+            partial: Some(Box::new(partial)),
+        })));
+    }
+    if let Some(why) = stream_error {
+        return Err(SimError::Telemetry(why));
     }
     if let Some(c) = &ckpt {
         if let Some(why) = c.error.lock().expect("checkpoint error lock").take() {
@@ -310,6 +483,7 @@ fn worker_loop<A: Application>(
     nworkers: usize,
     resume: Option<ResumeState>,
     ckpt: Option<&CheckpointState>,
+    telem: Option<&TelemetryState>,
 ) {
     let mut sense = false;
     // on resume the restored kernel's state is already in place, so the
@@ -340,8 +514,11 @@ fn worker_loop<A: Application>(
             // frees, deferred pushes, and cross-shard mailboxes are all
             // drained, so every in-flight packet sits in a router queue.
             // Time leaping may skip the exact boundary; the first
-            // executed cycle at or past it is the snapshot cycle.
-            if cycle >= next_snap {
+            // executed cycle at or past it is the snapshot cycle. A
+            // pending ward-trip snapshot (scheduled by the leader for
+            // the cycle after the trip) uses the same capture point.
+            let trip_snap = telem.map_or(u64::MAX, |t| t.snap_at.load(Ordering::Acquire));
+            if cycle >= next_snap || cycle >= trip_snap {
                 if let Some(c) = ckpt {
                     take_checkpoint(
                         worker, app, &shards, sync, c, kernel, cycle, base, &mut sense, widx,
@@ -360,8 +537,28 @@ fn worker_loop<A: Application>(
                 let h = worker.horizon(&shards, cycle);
                 sync.horizon[widx].store(h, Ordering::Release);
             }
+            // deposit this worker's telemetry share before the decision
+            // barrier so the leader can merge a coherent sample
+            if let Some(t) = telem {
+                if t.is_sample_cycle(cycle) {
+                    *t.samples[widx].lock().expect("telemetry sample lock") =
+                        worker.telemetry_sample(&shards);
+                }
+            }
             // decision phase: the last thread to arrive decides
             sync.barrier.wait_leader(&mut sense, || {
+                // a deferred trip snapshot was captured this cycle: the
+                // run stops here, before any normal decision can race it
+                if let Some(t) = telem {
+                    if t.snap_at.load(Ordering::Acquire) <= cycle
+                        && t.trip.lock().expect("telemetry trip lock").is_some()
+                    {
+                        t.tripped.store(true, Ordering::Release);
+                        sync.drained_cycle.store(cycle, Ordering::Release);
+                        sync.stop.store(true, Ordering::Release);
+                        return;
+                    }
+                }
                 let pending: i64 = (0..nworkers)
                     .map(|i| sync.activity[i].load(Ordering::Acquire))
                     .sum();
@@ -396,8 +593,52 @@ fn worker_loop<A: Application>(
                             }
                         }
                     }
+                    if let Some(t) = telem {
+                        // never leap over a sample boundary: clamp to the
+                        // next sample cycle so the cadence stays exact
+                        let r = (cycle + 1) % t.every;
+                        let to_sample = if r == 0 { t.every } else { t.every - r };
+                        next = next.min(cycle.saturating_add(to_sample));
+                    }
                     next = next.min(base.saturating_add(cycle_limit));
                     sync.next_cycle.store(next, Ordering::Release);
+                }
+                // merge, stream, and ward-check the sample (after the
+                // stop decision: a drained or limit-hit run still emits
+                // its final sample, but wards no longer fire)
+                if let Some(t) = telem {
+                    if t.is_sample_cycle(cycle) {
+                        let mut st = t.leader.lock().expect("telemetry leader lock");
+                        let st = &mut *st;
+                        st.merged.clear();
+                        for slot in &t.samples {
+                            st.merged
+                                .push(slot.lock().expect("telemetry sample lock").clone());
+                        }
+                        let mut sample = st.agg.merge(cycle, &st.merged);
+                        sample.pending += in_net;
+                        if !sync.stop.load(Ordering::Relaxed) {
+                            if let Some(trip) = st.wards.observe(&sample) {
+                                if t.snapshot_on_trip && ckpt.is_some() {
+                                    // defer the stop one cycle so every
+                                    // worker reaches the next capture
+                                    // point and writes the post-mortem
+                                    // snapshot first
+                                    *t.trip.lock().expect("telemetry trip lock") = Some(trip);
+                                    t.snap_at.store(cycle + 1, Ordering::Release);
+                                    if leap {
+                                        sync.next_cycle.store(cycle + 1, Ordering::Release);
+                                    }
+                                } else {
+                                    *t.trip.lock().expect("telemetry trip lock") = Some(trip);
+                                    t.tripped.store(true, Ordering::Release);
+                                    sync.drained_cycle.store(cycle, Ordering::Release);
+                                    sync.stop.store(true, Ordering::Release);
+                                }
+                            }
+                        }
+                        t.hub.publish(sample);
+                    }
                 }
             });
             if sync.stop.load(Ordering::Acquire) {
@@ -430,6 +671,16 @@ fn worker_loop<A: Application>(
             sync.stop.store(false, Ordering::Release);
             final_cycle.store(base, Ordering::Release);
         });
+        // a tripped ward ends the run here: every worker contributes its
+        // queue diagnostics (slow path, only after a trip) and bails out
+        // of the kernel sequence together
+        if let Some(t) = telem {
+            if t.tripped.load(Ordering::Acquire) {
+                *t.diags[widx].lock().expect("telemetry diag lock") =
+                    worker.telemetry_diag(&shards, DIAG_TILES);
+                return;
+            }
+        }
         if sync.limit_hit.load(Ordering::Acquire) {
             return;
         }

@@ -21,9 +21,9 @@
 //! version          u32   SNAPSHOT_VERSION
 //! config_hash      u64   FNV-1a over the canonical JSON of the config,
 //!                        with host-side knobs (time_leap, active_list,
-//!                        checkpoint_*) reset to defaults — resuming under
-//!                        a different leap/worklist/thread setting is
-//!                        allowed and bit-identical
+//!                        checkpoint_*, telemetry) reset to defaults —
+//!                        resuming under a different leap/worklist/thread
+//!                        /telemetry setting is allowed and bit-identical
 //! app name         len-prefixed UTF-8
 //! width, height, pus_per_tile, planes   u32 each
 //! task_types       u8
@@ -330,10 +330,10 @@ impl<'a> ByteReader<'a> {
 
 /// FNV-1a over the canonical JSON of `cfg` with the host-side knobs that
 /// are *allowed* to differ between the checkpointing and the resuming run
-/// (time leaping, active lists, and the checkpoint options themselves)
-/// reset to fixed values. Everything that shapes simulated behavior —
-/// geometry, latencies, queue capacities, traffic, verbosity, frame
-/// interval — participates.
+/// (time leaping, active lists, telemetry, and the checkpoint options
+/// themselves) reset to fixed values. Everything that shapes simulated
+/// behavior — geometry, latencies, queue capacities, traffic, verbosity,
+/// frame interval — participates.
 pub(crate) fn config_hash(cfg: &SystemConfig) -> u64 {
     let mut c = cfg.clone();
     c.time_leap = true;
@@ -341,6 +341,7 @@ pub(crate) fn config_hash(cfg: &SystemConfig) -> u64 {
     c.checkpoint_every = None;
     c.checkpoint_path = None;
     c.checkpoint_resume = false;
+    c.telemetry = Default::default();
     let json = serde_json::to_string(&c).expect("config serializes");
     let mut h = Fnv::new();
     h.bytes(json.as_bytes());
@@ -1426,8 +1427,12 @@ mod tests {
         let mut ckpt = base.clone();
         ckpt.checkpoint_every = Some(100);
         ckpt.checkpoint_path = Some("x.ckpt".into());
+        let mut telem = base.clone();
+        telem.telemetry.sample_every = Some(1024);
+        telem.telemetry.wards.stall_cycles = Some(50_000);
         assert_eq!(config_hash(&base), config_hash(&leap_off));
         assert_eq!(config_hash(&base), config_hash(&ckpt));
+        assert_eq!(config_hash(&base), config_hash(&telem));
         let other = SystemConfig::builder().chiplet_tiles(8, 8).build().unwrap();
         assert_ne!(config_hash(&base), config_hash(&other));
     }

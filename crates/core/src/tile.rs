@@ -164,9 +164,26 @@ pub struct SimResult {
     /// `Simulation::run_window` calibration) to place shard boundaries
     /// where the work is.
     pub column_activity: Vec<u64>,
+    /// How the run ended: `"finished"` for a normal drain, `"ward:<name>"`
+    /// when a telemetry ward terminated it (the partial result inside a
+    /// `SimError::Ward` report). Empty in records stored before this
+    /// field existed; read it through
+    /// [`termination_label`](SimResult::termination_label).
+    #[serde(default)]
+    pub termination: String,
 }
 
 impl SimResult {
+    /// The termination reason, mapping the pre-telemetry empty string to
+    /// `"finished"`.
+    pub fn termination_label(&self) -> &str {
+        if self.termination.is_empty() {
+            "finished"
+        } else {
+            &self.termination
+        }
+    }
+
     /// Ratio of simulator wall time to DUT time (the paper's Fig. 3
     /// metric, where DUT time is per-tile aggregated runtime).
     pub fn slowdown_vs_dut(&self) -> f64 {
@@ -284,7 +301,9 @@ mod tests {
             host_state_bytes: 4096,
             check_error: None,
             column_activity: vec![0; 4],
+            termination: String::new(),
         };
+        assert_eq!(r.termination_label(), "finished");
         assert!((r.slowdown_vs_dut() - 10_000.0).abs() < 1e-6);
         assert!((r.sim_cycles_per_sec() - 100_000.0).abs() < 1e-6);
         assert_eq!(r.bytes_per_tile(), 256.0);

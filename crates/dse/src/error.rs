@@ -24,8 +24,9 @@ pub enum DseError {
     /// replay writes into it. Names the offending configuration key and
     /// the first run that sets it.
     ResumeIncompatible {
-        /// The rejected configuration key (`"frame_spill"`,
-        /// `"noc_trace"` or `"checkpoint_path"`).
+        /// The rejected configuration key (`"frame_spill"`, `"noc_trace"`,
+        /// `"checkpoint_path"`, `"telemetry.metrics_path"` or
+        /// `"telemetry.metrics_csv"`).
         key: &'static str,
         /// The run ID of the first point setting the key.
         run_id: String,

@@ -19,6 +19,15 @@
 //! latest snapshot, and each point's snapshot is deleted once its record
 //! lands in the store. Checkpointing never changes reported numbers —
 //! the checkpoint determinism suite pins the resumed half bit-for-bit.
+//!
+//! With [`BatchRunner::with_sample_every`], every point additionally
+//! streams a live metrics sample each `sample_every` cycles into its own
+//! `<store>.metrics/<run_id>.jsonl`, so an in-flight sweep can be watched
+//! point by point (`tail -f`) instead of only at record granularity.
+//! Points whose configs arm telemetry wards stay first-class sweep
+//! subjects: a tripped ward is an *outcome*, not a batch failure — the
+//! partial result inside the [`muchisim_core::WardReport`] is recorded
+//! with `termination = "ward:<name>"` and the sweep continues.
 
 use crate::error::DseError;
 use crate::spec::{DatasetSpec, ExperimentSpec, RunPoint};
@@ -41,6 +50,11 @@ pub struct BatchOutcome {
     /// and failures already recorded in the store for skipped points, so
     /// a resumed sweep over bad data stays loud instead of going green.
     pub check_failures: usize,
+    /// Points a telemetry ward terminated early (fresh executions plus
+    /// ward records already in the store for skipped points). These are
+    /// recorded outcomes, not failures: their partial results are in the
+    /// store with `termination = "ward:<name>"`.
+    pub ward_trips: usize,
 }
 
 /// A batch executor with a host-thread budget.
@@ -53,6 +67,11 @@ pub struct BatchRunner {
     /// resumes from that snapshot if one is present, so a killed sweep
     /// loses at most `checkpoint_every` cycles of the points in flight.
     pub checkpoint_every: Option<u64>,
+    /// When set, every point streams a metrics sample each `sample_every`
+    /// cycles into `<store>.metrics/<run_id>.jsonl` — live per-point
+    /// progress for an in-flight sweep. Sampling is pure observation:
+    /// reported numbers are bit-identical either way.
+    pub sample_every: Option<u64>,
 }
 
 impl BatchRunner {
@@ -62,6 +81,7 @@ impl BatchRunner {
         BatchRunner {
             host_threads: host_threads.max(1),
             checkpoint_every: None,
+            sample_every: None,
         }
     }
 
@@ -70,6 +90,13 @@ impl BatchRunner {
     /// snapshot when one exists.
     pub fn with_checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint_every = Some(every.max(1));
+        self
+    }
+
+    /// Enables live per-point metrics: each point streams a sample every
+    /// `every` cycles (min 1) into `<store>.metrics/<run_id>.jsonl`.
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = Some(every.max(1));
         self
     }
 
@@ -104,12 +131,12 @@ impl BatchRunner {
     ) -> Result<BatchOutcome, DseError> {
         let threads_per_run = threads_per_run.max(1);
         // single-writer host-side outputs cannot coexist with a batch:
-        // frame spilling and NoC tracing truncate and write one shared
-        // file per simulation (concurrent points would interleave into
-        // the same path and silently corrupt it), and a user-set
-        // checkpoint path would make every point resume from whichever
-        // point snapshotted last — the runner derives its own per-point
-        // paths instead
+        // frame spilling, NoC tracing and metrics streams truncate and
+        // write one shared file per simulation (concurrent points would
+        // interleave into the same path and silently corrupt it), and a
+        // user-set checkpoint path would make every point resume from
+        // whichever point snapshotted last — the runner derives its own
+        // per-point paths instead
         for (key, hit) in [
             (
                 "frame_spill",
@@ -122,6 +149,18 @@ impl BatchRunner {
             (
                 "checkpoint_path",
                 points.iter().find(|p| p.config.checkpoint_path.is_some()),
+            ),
+            (
+                "telemetry.metrics_path",
+                points
+                    .iter()
+                    .find(|p| p.config.telemetry.metrics_path.is_some()),
+            ),
+            (
+                "telemetry.metrics_csv",
+                points
+                    .iter()
+                    .find(|p| p.config.telemetry.metrics_csv.is_some()),
             ),
         ] {
             if let Some(point) = hit {
@@ -142,16 +181,27 @@ impl BatchRunner {
             .filter(|p| done.contains(&p.run_id))
             .map(|p| p.run_id.as_str())
             .collect();
+        // a ward-terminated record expectably fails the output check (the
+        // run was cut short by design), so it counts as a ward trip, not
+        // a check failure
         let stored_failures = store
             .records()
             .iter()
             .filter(|r| skipped_ids.contains(r.run_id.as_str()))
+            .filter(|r| !r.result.termination_label().starts_with("ward:"))
             .filter(|r| r.result.check_error.is_some())
+            .count();
+        let stored_trips = store
+            .records()
+            .iter()
+            .filter(|r| skipped_ids.contains(r.run_id.as_str()))
+            .filter(|r| r.result.termination_label().starts_with("ward:"))
             .count();
         let mut outcome = BatchOutcome {
             executed: 0,
             skipped: points.len() - pending.len(),
             check_failures: stored_failures,
+            ward_trips: stored_trips,
         };
 
         // Generate each distinct dataset once, shared by every point.
@@ -170,6 +220,18 @@ impl BatchRunner {
             os.push(".ckpt");
             PathBuf::from(os)
         });
+
+        // live per-point metrics streams live next to the store too, one
+        // file per run ID — kept after completion (they are the record of
+        // how the point got there), unlike the transient snapshots above
+        let metrics_dir: Option<PathBuf> = self.sample_every.map(|_| {
+            let mut os = store.path().as_os_str().to_os_string();
+            os.push(".metrics");
+            PathBuf::from(os)
+        });
+        if let Some(dir) = &metrics_dir {
+            std::fs::create_dir_all(dir)?;
+        }
 
         let slots = (self.host_threads / threads_per_run).clamp(1, pending.len().max(1));
         let queue = Mutex::new(pending.into_iter());
@@ -192,7 +254,20 @@ impl BatchRunner {
                         cfg.checkpoint_path = Some(path.to_string_lossy().into_owned());
                         cfg.checkpoint_resume = true; // fresh start if absent
                     }
-                    let run = run_benchmark(point.app, cfg, &graph, threads_per_run);
+                    if let Some(dir) = &metrics_dir {
+                        let path = dir.join(format!("{}.jsonl", point.run_id));
+                        cfg.telemetry.sample_every = self.sample_every;
+                        cfg.telemetry.metrics_path = Some(path.to_string_lossy().into_owned());
+                    }
+                    // a ward trip is a recorded outcome, not an engine
+                    // failure: fold its partial result back into the Ok
+                    // path (termination already says "ward:<name>")
+                    let run = match run_benchmark(point.app, cfg, &graph, threads_per_run) {
+                        Err(muchisim_core::SimError::Ward(report)) if report.partial.is_some() => {
+                            Ok(*report.partial.expect("partial checked above"))
+                        }
+                        other => other,
+                    };
                     if run.is_ok() {
                         if let Some(path) = &ckpt_path {
                             let _ = std::fs::remove_file(path);
@@ -203,7 +278,9 @@ impl BatchRunner {
                     match run {
                         Ok(result) => {
                             outcome.executed += 1;
-                            if result.check_error.is_some() {
+                            if result.termination_label().starts_with("ward:") {
+                                outcome.ward_trips += 1;
+                            } else if result.check_error.is_some() {
                                 outcome.check_failures += 1;
                             }
                             let record = RunRecord {
@@ -517,6 +594,149 @@ mod tests {
             .records()
             .iter()
             .all(|r| r.result.noc_latency.count == r.result.counters.noc.ejected));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_path_points_are_rejected() {
+        // per-point metrics streams are the runner's job (one file per
+        // run ID); a user-set shared stream path would interleave points
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "metrics_reject",
+                "base": ["hierarchy.chiplet.x=2", "hierarchy.chiplet.y=2",
+                         "telemetry.sample_every=64",
+                         "telemetry.metrics_path=\"/tmp/shared.metrics.jsonl\""],
+                "apps": ["bfs"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-mreject-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics_reject.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let err = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DseError::ResumeIncompatible {
+                    key: "telemetry.metrics_path",
+                    ..
+                }
+            ),
+            "wrong variant: {err:?}"
+        );
+        assert!(store.records().is_empty(), "nothing may have run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sampling_batch_streams_per_point_metrics_without_perturbing_results() {
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = tiny_spec();
+        let points = spec.expand().unwrap();
+
+        // reference sweep without sampling
+        let plain_path = dir.join("plain.jsonl");
+        let _ = std::fs::remove_file(&plain_path);
+        let mut plain = JsonlStore::open(&plain_path).unwrap();
+        BatchRunner::new(2).run_spec(&spec, &mut plain).unwrap();
+
+        let store_path = dir.join("sampled.jsonl");
+        let _ = std::fs::remove_file(&store_path);
+        let metrics_dir = dir.join("sampled.jsonl.metrics");
+        let _ = std::fs::remove_dir_all(&metrics_dir);
+        let mut store = JsonlStore::open(&store_path).unwrap();
+        let outcome = BatchRunner::new(2)
+            .with_sample_every(64)
+            .run_spec(&spec, &mut store)
+            .unwrap();
+        assert_eq!(outcome.executed, points.len());
+        assert_eq!(outcome.ward_trips, 0);
+
+        // every point streamed its own JSONL metrics file...
+        for point in &points {
+            let stream = metrics_dir.join(format!("{}.jsonl", point.run_id));
+            let text = std::fs::read_to_string(&stream)
+                .unwrap_or_else(|e| panic!("missing metrics stream {}: {e}", stream.display()));
+            assert!(
+                text.lines().count() >= 1,
+                "empty metrics stream for {}",
+                point.run_id
+            );
+            assert!(text.lines().all(|l| l.starts_with("{\"v\":")));
+        }
+        // ...and sampling changed nothing about the reported numbers
+        for (a, b) in plain.sorted_records().iter().zip(store.sorted_records()) {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.result.runtime_cycles, b.result.runtime_cycles);
+            assert_eq!(a.result.counters, b.result.counters);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ward_tripped_points_are_recorded_outcomes_not_batch_failures() {
+        // one axis point arms an impossibly tight cycle budget: that
+        // point must land in the store as termination "ward:max_cycles"
+        // with its partial result, while the untripped point completes
+        let spec = ExperimentSpec::from_json(
+            r#"{
+                "name": "ward_axis",
+                "base": ["hierarchy.chiplet.x=4", "hierarchy.chiplet.y=4",
+                         "telemetry.sample_every=32"],
+                "axes": [{"name": "budget", "points": [
+                    {"label": "unbounded", "set": []},
+                    {"label": "tight", "set": ["telemetry.wards.max_cycles=64"]}
+                ]}],
+                "apps": ["bfs"],
+                "datasets": [{"rmat": {"scale": 5, "seed": 7}}]
+            }"#,
+        )
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("muchisim-dse-ward-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ward_axis.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let mut store = JsonlStore::open(&path).unwrap();
+        let outcome = BatchRunner::new(2).run_spec(&spec, &mut store).unwrap();
+        assert_eq!(outcome.executed, 2);
+        assert_eq!(outcome.ward_trips, 1);
+        assert_eq!(
+            outcome.check_failures, 0,
+            "a deliberate ward trip is not a check failure"
+        );
+        let records = store.sorted_records();
+        assert_eq!(records.len(), 2);
+        let tripped = records
+            .iter()
+            .find(|r| r.config_label == "tight")
+            .expect("tight point recorded");
+        assert_eq!(tripped.result.termination_label(), "ward:max_cycles");
+        let done = records
+            .iter()
+            .find(|r| r.config_label == "unbounded")
+            .expect("unbounded point recorded");
+        assert_eq!(done.result.termination_label(), "finished");
+        assert!(done.result.check_error.is_none());
+        assert!(
+            tripped.result.runtime_cycles < done.result.runtime_cycles,
+            "the warded point must have been cut short ({} vs {})",
+            tripped.result.runtime_cycles,
+            done.result.runtime_cycles
+        );
+
+        // resuming over the same store re-counts the stored trip without
+        // re-running anything — the fleet view stays truthful
+        let mut reopened = JsonlStore::open(&path).unwrap();
+        let outcome2 = BatchRunner::new(2).run_spec(&spec, &mut reopened).unwrap();
+        assert_eq!(outcome2.executed, 0);
+        assert_eq!(outcome2.skipped, 2);
+        assert_eq!(outcome2.ward_trips, 1);
+        assert_eq!(outcome2.check_failures, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -182,6 +182,7 @@ pub(crate) mod tests {
                 host_state_bytes: 0,
                 check_error: check_error.map(str::to_string),
                 column_activity: Vec::new(),
+                termination: "finished".to_string(),
             },
         }
     }

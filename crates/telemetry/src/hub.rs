@@ -1,0 +1,152 @@
+//! The bounded channel between the barrier leader and subscriber I/O.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::sample::MetricsSample;
+use crate::subscribers::Subscriber;
+
+/// Channel depth: enough to ride out a subscriber I/O hiccup lasting
+/// hundreds of sample intervals before anything is dropped.
+const CHANNEL_DEPTH: usize = 256;
+
+/// Fans samples out to subscribers on a dedicated thread.
+///
+/// [`publish`](TelemetryHub::publish) is a `try_send`: the simulation
+/// never blocks on telemetry I/O. When the channel is full the sample is
+/// counted as dropped and the run continues — wards are evaluated
+/// upstream of the hub, so a drop loses observation, never control.
+#[derive(Debug)]
+pub struct TelemetryHub {
+    tx: Option<SyncSender<MetricsSample>>,
+    dropped: Arc<AtomicU64>,
+    worker: Option<JoinHandle<Result<(), String>>>,
+}
+
+impl TelemetryHub {
+    /// Spawns the subscriber thread. An empty subscriber list is valid
+    /// (the hub then just counts samples into the void).
+    pub fn spawn(mut subscribers: Vec<Box<dyn Subscriber>>) -> Self {
+        let (tx, rx) = sync_channel::<MetricsSample>(CHANNEL_DEPTH);
+        let worker = std::thread::Builder::new()
+            .name("telemetry".into())
+            .spawn(move || {
+                // a failed subscriber is muted (None) and its first error kept
+                let mut errors: Vec<Option<String>> = vec![None; subscribers.len()];
+                for sample in rx {
+                    for (sub, err) in subscribers.iter_mut().zip(errors.iter_mut()) {
+                        if err.is_none() {
+                            *err = sub.on_sample(&sample).err();
+                        }
+                    }
+                }
+                for (sub, err) in subscribers.iter_mut().zip(errors.iter_mut()) {
+                    if err.is_none() {
+                        *err = sub.on_close().err();
+                    }
+                }
+                match errors.into_iter().flatten().next() {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            })
+            .expect("spawn telemetry thread");
+        TelemetryHub {
+            tx: Some(tx),
+            dropped: Arc::new(AtomicU64::new(0)),
+            worker: Some(worker),
+        }
+    }
+
+    /// Offers a sample to the subscriber thread without blocking.
+    pub fn publish(&self, sample: MetricsSample) {
+        let Some(tx) = &self.tx else { return };
+        match tx.try_send(sample) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Samples dropped because the channel was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drains the channel, closes every subscriber, and returns the
+    /// first subscriber error (if any).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error any subscriber hit while consuming
+    /// or closing the stream.
+    pub fn close(mut self) -> Result<(), String> {
+        self.shutdown()
+    }
+
+    fn shutdown(&mut self) -> Result<(), String> {
+        drop(self.tx.take()); // hang up: the worker drains and exits
+        match self.worker.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| "telemetry thread panicked".to_string())?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for TelemetryHub {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subscribers::MemorySubscriber;
+
+    #[test]
+    fn samples_flow_through_to_subscribers_in_order() {
+        let mem = MemorySubscriber::new();
+        let handle = mem.samples();
+        let hub = TelemetryHub::spawn(vec![Box::new(mem)]);
+        for seq in 0..10 {
+            hub.publish(MetricsSample {
+                seq,
+                cycle: seq * 100,
+                ..MetricsSample::default()
+            });
+        }
+        hub.close().unwrap();
+        let got = handle.lock().unwrap();
+        assert_eq!(got.len(), 10);
+        for (i, s) in got.iter().enumerate() {
+            assert_eq!(s.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_hub_closes_cleanly() {
+        let hub = TelemetryHub::spawn(Vec::new());
+        hub.publish(MetricsSample::default());
+        assert!(hub.close().is_ok());
+    }
+
+    #[test]
+    fn subscriber_errors_surface_on_close() {
+        struct Failing;
+        impl Subscriber for Failing {
+            fn on_sample(&mut self, _: &MetricsSample) -> Result<(), String> {
+                Err("disk full".into())
+            }
+        }
+        let hub = TelemetryHub::spawn(vec![Box::new(Failing)]);
+        hub.publish(MetricsSample::default());
+        let err = hub.close().unwrap_err();
+        assert!(err.contains("disk full"), "{err}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # muchisim-telemetry
+//!
+//! Live observability for the MuchiSim cycle driver: periodic
+//! [`MetricsSample`]s merged by the worker-barrier leader, a bounded
+//! [`TelemetryHub`] channel that decouples the hot loop from subscriber
+//! I/O, pluggable [`Subscriber`]s (JSONL, CSV, in-memory, stdout
+//! progress), and the [`WardEngine`] that evaluates declarative
+//! stop-conditions ([`WardParams`](muchisim_config::WardParams)) on the
+//! sample stream.
+//!
+//! The division of labor with `muchisim-core`:
+//!
+//! * each worker deposits a [`WorkerSample`] of its own cumulative
+//!   counters at a sample boundary (cheap: a few dozen u64 reads);
+//! * the barrier leader folds them through a [`SampleAggregator`] into
+//!   one [`MetricsSample`] (cumulative values, interval deltas, latency
+//!   percentiles, host throughput);
+//! * the sample goes to the [`WardEngine`] (synchronously — ward trips
+//!   must be deterministic) and to the [`TelemetryHub`] (`try_send`,
+//!   never blocking — a slow subscriber drops samples rather than
+//!   stalling the simulation).
+//!
+//! Determinism: every field a ward may read is derived from simulated
+//! state and merged commutatively, so a ward trips at the same simulated
+//! cycle regardless of host-thread count, time-leap, or active-list
+//! mode. Host-side fields (`host_ns`, `cyc_per_s`) exist for humans and
+//! are never consulted by wards.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod hub;
+mod sample;
+mod subscribers;
+mod wards;
+
+pub use hub::TelemetryHub;
+pub use sample::{MetricsSample, SampleAggregator, WorkerSample, SCHEMA_VERSION};
+pub use subscribers::{
+    CsvSubscriber, JsonlSubscriber, MemorySubscriber, ProgressSubscriber, Subscriber,
+};
+pub use wards::{WardEngine, WardTrip};

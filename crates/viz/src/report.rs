@@ -49,6 +49,20 @@ pub struct ReportRow {
     pub phase_net_ns: u64,
     /// Host nanoseconds spent on worklist bookkeeping.
     pub phase_worklist_ns: u64,
+    /// Median NoC packet latency in cycles (from the log2 histogram).
+    #[serde(default)]
+    pub noc_p50: u64,
+    /// 95th-percentile NoC packet latency in cycles.
+    #[serde(default)]
+    pub noc_p95: u64,
+    /// 99th-percentile NoC packet latency in cycles.
+    #[serde(default)]
+    pub noc_p99: u64,
+    /// How the run ended: `finished`, `ward:<name>`, or an error label.
+    /// Empty in rows stored before the column existed; read through
+    /// [`term_label`](ReportRow::term_label).
+    #[serde(default)]
+    pub termination: String,
 }
 
 impl ReportRow {
@@ -81,6 +95,20 @@ impl ReportRow {
             phase_inject_ns: result.host_phase_ns.inject,
             phase_net_ns: result.host_phase_ns.net,
             phase_worklist_ns: result.host_phase_ns.worklist,
+            noc_p50: result.noc_latency.percentile(0.50),
+            noc_p95: result.noc_latency.percentile(0.95),
+            noc_p99: result.noc_latency.percentile(0.99),
+            termination: result.termination_label().to_string(),
+        }
+    }
+
+    /// The termination reason, mapping the pre-column empty string to
+    /// `"finished"`.
+    pub fn term_label(&self) -> &str {
+        if self.termination.is_empty() {
+            "finished"
+        } else {
+            &self.termination
         }
     }
 
@@ -122,12 +150,12 @@ impl ReportTable {
             "config,app,dataset,runtime_s,flops,app_throughput,energy_j,power_w,\
              cost_usd,flops_per_watt,flops_per_dollar,msg_hops,hit_rate,sim_s,\
              sim_cycles_per_s,host_bytes_per_tile,phase_pu_ns,phase_inject_ns,\
-             phase_net_ns,phase_worklist_ns\n",
+             phase_net_ns,phase_worklist_ns,noc_p50,noc_p95,noc_p99,term\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
                 "{},{},{},{:.6e},{:.4e},{:.4e},{:.4e},{:.3},{:.2},{:.4e},{:.4e},{},{:.4},{:.3},\
-                 {:.4e},{:.1},{},{},{},{}\n",
+                 {:.4e},{:.1},{},{},{},{},{},{},{},{}\n",
                 r.config,
                 r.app,
                 r.dataset,
@@ -147,7 +175,11 @@ impl ReportTable {
                 r.phase_pu_ns,
                 r.phase_inject_ns,
                 r.phase_net_ns,
-                r.phase_worklist_ns
+                r.phase_worklist_ns,
+                r.noc_p50,
+                r.noc_p95,
+                r.noc_p99,
+                r.term_label()
             ));
         }
         out
@@ -197,7 +229,7 @@ impl ReportTable {
     /// A human-readable aligned table of the key metrics.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>7}\n",
+            "{:<20} {:<8} {:<10} {:>12} {:>12} {:>10} {:>10} {:>10} {:>8} {:>7} {:>8} {:<14}\n",
             "config",
             "app",
             "dataset",
@@ -207,11 +239,13 @@ impl ReportTable {
             "cost_usd",
             "simcyc/s",
             "B/tile",
-            "wklst%"
+            "wklst%",
+            "noc_p95",
+            "term"
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0} {:>10.3e} {:>8.0} {:>7.1}\n",
+                "{:<20} {:<8} {:<10} {:>12.3e} {:>12.3e} {:>10.2} {:>10.0} {:>10.3e} {:>8.0} {:>7.1} {:>8} {:<14}\n",
                 r.config,
                 r.app,
                 r.dataset,
@@ -221,7 +255,9 @@ impl ReportTable {
                 r.cost_usd,
                 r.sim_cycles_per_sec,
                 r.host_bytes_per_tile,
-                r.worklist_share() * 100.0
+                r.worklist_share() * 100.0,
+                r.noc_p95,
+                r.term_label()
             ));
         }
         out
@@ -254,6 +290,10 @@ mod tests {
             phase_inject_ns: 2,
             phase_net_ns: 4,
             phase_worklist_ns: 1,
+            noc_p50: 12,
+            noc_p95: 48,
+            noc_p99: 96,
+            termination: "finished".into(),
         }
     }
 
@@ -267,10 +307,38 @@ mod tests {
         assert!(csv.lines().next().unwrap().contains("sim_cycles_per_s"));
         assert!(csv.lines().next().unwrap().contains("host_bytes_per_tile"));
         assert!(csv.lines().next().unwrap().contains("phase_worklist_ns"));
+        assert!(csv
+            .lines()
+            .next()
+            .unwrap()
+            .ends_with("noc_p50,noc_p95,noc_p99,term"));
+        assert!(csv.lines().nth(1).unwrap().ends_with("12,48,96,finished"));
         let text = t.to_text();
         assert!(text.contains("BFS"));
         assert!(text.contains("B/tile"));
         assert!(text.contains("wklst%"));
+        assert!(text.contains("noc_p95"));
+        assert!(text.contains("term"));
+        assert!(text.contains("finished"));
+    }
+
+    #[test]
+    fn termination_column_distinguishes_warded_rows() {
+        let mut t = ReportTable::new();
+        t.push(row("open", "BFS", 100.0));
+        let mut warded = row("tight", "BFS", 10.0);
+        warded.termination = "ward:stall".into();
+        t.push(warded);
+        // a pre-column row deserializes to the empty string
+        let mut legacy = row("old", "BFS", 1.0);
+        legacy.termination = String::new();
+        assert_eq!(legacy.term_label(), "finished");
+        t.push(legacy);
+        let text = t.to_text();
+        assert!(text.contains("ward:stall"));
+        let csv = t.to_csv();
+        assert!(csv.contains(",ward:stall\n"));
+        assert!(!csv.contains(",,\n"), "legacy rows must render a label");
     }
 
     #[test]

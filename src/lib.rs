@@ -23,6 +23,7 @@
 //! | [`core`] | `muchisim-core` | the engine: MTT API, TSU, kernels, parallel driver |
 //! | [`energy`] | `muchisim-energy` | energy / area / cost / yield models, post-processing |
 //! | [`apps`] | `muchisim-apps` | the 8-application benchmark suite |
+//! | [`telemetry`] | `muchisim-telemetry` | live metric streams, subscribers, ward engine |
 //! | [`traffic`] | `muchisim-traffic` | synthetic traffic patterns, trace replay, saturation sweeps |
 //! | [`viz`] | `muchisim-viz` | report tables, time series, heat-map frames |
 //! | [`dse`] | `muchisim-dse` | declarative sweeps, parallel batch runner, resumable stores |
@@ -58,5 +59,6 @@ pub use muchisim_dse as dse;
 pub use muchisim_energy as energy;
 pub use muchisim_mem as mem;
 pub use muchisim_noc as noc;
+pub use muchisim_telemetry as telemetry;
 pub use muchisim_traffic as traffic;
 pub use muchisim_viz as viz;

@@ -19,7 +19,10 @@
 //! errors (exit code 2), never silently replaced with defaults.
 
 use muchisim::apps::{run_benchmark, Benchmark};
-use muchisim::config::{NocTopology, SystemConfig, TrafficPattern};
+use muchisim::config::{
+    ConvergedWard, NocTopology, SystemConfig, TelemetryParams, TrafficPattern, WardMetric,
+};
+use muchisim::core::SimError;
 use muchisim::data::rmat::RmatConfig;
 use muchisim::dse::{
     apply_to_config, parse_assignment, parse_json_or_string, table_from_store, BatchRunner,
@@ -39,8 +42,11 @@ USAGE:
     muchisim run <app> [scale [side [threads]]] [--telemetry] [--seed N]
                  [--threads N] [--no-active-list] [--trace FILE]
                  [--checkpoint FILE] [--checkpoint-every N] [--resume]
+                 [--metrics FILE] [--metrics-csv FILE] [--sample-every N]
+                 [--progress] [--ward KEY=VALUE]...
                  [--set KEY=VALUE]...
-    muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--seed N] [--csv]
+    muchisim sweep --spec FILE [--store FILE] [--host-threads N] [--seed N]
+                 [--sample-every N] [--csv]
     muchisim report --store FILE [--set KEY=VALUE]... [--csv]
     muchisim traffic sweep [--pattern P] [--rates R,R,...] [--side N]
                  [--topo mesh|torus|ruche] [--threads N] [--seed N]
@@ -68,10 +74,33 @@ SUBCOMMANDS:
              10000); with --resume the run restores FILE first, if it
              exists, and continues bit-identically from its cycle (see
              docs/CHECKPOINT.md). Incompatible with --trace.
+             --metrics FILE streams a schema-versioned JSONL metrics
+             sample every --sample-every N cycles (default 1024);
+             --metrics-csv FILE streams the same samples as CSV;
+             --progress rewrites a live stdout line
+             (cycle / sim-cyc/s / active% / ETA). --ward KEY=VALUE
+             (repeatable) arms a declarative stop-condition on the
+             sample stream (see docs/OBSERVABILITY.md):
+               max_cycles=N        stop at cycle N
+               stall=N             stall watchdog: no task executes and
+                                   no flit moves for N cycles
+               converged=M:EPS[:W] metric M delta within EPS for W
+                                   samples (M: tasks, injected, pending,
+                                   latency_mean; W default 3)
+               diverged_queue=F    pending work grew past F x baseline
+               diverged_latency=F  interval latency past F x baseline
+               snapshot=BOOL       write a post-mortem snapshot to the
+                                   --checkpoint FILE on any trip
+             A tripped ward prints its diagnostic report and exits 3.
     sweep    Expand a JSON experiment spec into run points, execute the
              ones missing from the store concurrently, and print the
              comparison table. Re-invoking skips completed run IDs.
              --seed appends a traffic.seed override to the spec's base.
+             --sample-every N streams live per-point metrics into
+             <store>.metrics/<run_id>.jsonl while the sweep runs. Specs
+             may arm telemetry wards (telemetry.wards.* overrides); a
+             tripped point is recorded with termination ward:<name>, not
+             treated as a batch failure.
     report   Rebuild the comparison table from a result store without
              re-simulating; --set re-prices the stored runs under
              different model parameters.
@@ -111,6 +140,51 @@ fn parse_set(args: &mut std::iter::Peekable<std::vec::IntoIter<String>>) -> Over
     parse_assignment(&assignment).unwrap_or_else(|e| usage_error(e))
 }
 
+/// Applies one `--ward KEY=VALUE` assignment to the telemetry params.
+fn apply_ward(assignment: &str, t: &mut TelemetryParams) {
+    let Some((key, value)) = assignment.split_once('=') else {
+        usage_error(format!("--ward needs KEY=VALUE, got `{assignment}`"));
+    };
+    match key {
+        "max_cycles" => t.wards.max_cycles = Some(parse_num("max_cycles ward", value)),
+        "stall" => t.wards.stall_cycles = Some(parse_num("stall ward span", value)),
+        "converged" => {
+            let mut parts = value.split(':');
+            let name = parts.next().unwrap_or("");
+            let metric = WardMetric::from_label(name).unwrap_or_else(|| {
+                usage_error(format!(
+                    "unknown converged metric `{name}`; choose one of: {}",
+                    WardMetric::ALL.map(WardMetric::label).join(", ")
+                ))
+            });
+            let Some(eps) = parts.next() else {
+                usage_error("converged ward needs METRIC:EPSILON[:WINDOW]");
+            };
+            let epsilon: f64 = parse_num("converged epsilon", eps);
+            let window: u32 = parts.next().map_or(3, |w| parse_num("converged window", w));
+            if parts.next().is_some() {
+                usage_error(format!("converged ward `{value}` has too many `:` parts"));
+            }
+            t.wards.converged = Some(ConvergedWard {
+                metric,
+                epsilon,
+                window,
+            });
+        }
+        "diverged_queue" => {
+            t.wards.diverged_queue_factor = Some(parse_num("diverged_queue factor", value))
+        }
+        "diverged_latency" => {
+            t.wards.diverged_latency_factor = Some(parse_num("diverged_latency factor", value))
+        }
+        "snapshot" => t.snapshot_on_trip = parse_num("snapshot flag", value),
+        other => usage_error(format!(
+            "unknown ward `{other}`; choose one of: max_cycles, stall, converged, \
+             diverged_queue, diverged_latency, snapshot"
+        )),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "-h" || a == "--help") {
@@ -142,10 +216,39 @@ fn cmd_run(args: Vec<String>) -> i32 {
     let mut checkpoint_path: Option<String> = None;
     let mut checkpoint_every: Option<u64> = None;
     let mut resume = false;
+    let mut metrics_path: Option<String> = None;
+    let mut metrics_csv: Option<String> = None;
+    let mut sample_every: Option<u64> = None;
+    let mut progress = false;
+    let mut ward_args: Vec<String> = Vec::new();
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--set" => overrides.push(parse_set(&mut args)),
+            "--metrics" => {
+                metrics_path = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--metrics needs a FILE")),
+                )
+            }
+            "--metrics-csv" => {
+                metrics_csv = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--metrics-csv needs a FILE")),
+                )
+            }
+            "--sample-every" => {
+                sample_every = Some(parse_flag_value(
+                    &mut args,
+                    "--sample-every",
+                    "sample cadence",
+                ))
+            }
+            "--progress" => progress = true,
+            "--ward" => ward_args.push(
+                args.next()
+                    .unwrap_or_else(|| usage_error("--ward needs a KEY=VALUE argument")),
+            ),
             "--telemetry" => telemetry = true,
             "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
             "--threads" => {
@@ -206,6 +309,32 @@ fn cmd_run(args: Vec<String>) -> i32 {
     if no_active_list {
         cfg.active_list = false;
     }
+    // telemetry flags layer on top of any --set telemetry.* overrides
+    // (explicit flags win); an unset cadence defaults to 1024 cycles
+    let telemetry_flags = metrics_path.is_some()
+        || metrics_csv.is_some()
+        || sample_every.is_some()
+        || progress
+        || !ward_args.is_empty();
+    if telemetry_flags {
+        let t = &mut cfg.telemetry;
+        if metrics_path.is_some() {
+            t.metrics_path = metrics_path.clone();
+        }
+        if metrics_csv.is_some() {
+            t.metrics_csv = metrics_csv.clone();
+        }
+        if progress {
+            t.progress = true;
+        }
+        for w in &ward_args {
+            apply_ward(w, t);
+        }
+        match sample_every {
+            Some(n) => t.sample_every = Some(n),
+            None => t.sample_every = t.sample_every.or(Some(1024)),
+        }
+    }
     // checkpoint flags land after the builder, so re-validate: the
     // checkpoint rules (path required, incompatible with --trace) must
     // fail at the command line, not one snapshot cadence into the run
@@ -217,6 +346,12 @@ fn cmd_run(args: Vec<String>) -> i32 {
             usage_error("--checkpoint-every needs --checkpoint FILE");
         }
         cfg.checkpoint_resume = resume;
+        if let Err(e) = cfg.validate() {
+            usage_error(e);
+        }
+    } else if telemetry_flags {
+        // the telemetry rules (cadence non-zero, snapshot ward needs a
+        // checkpoint path) must also fail at the command line
         if let Err(e) = cfg.validate() {
             usage_error(e);
         }
@@ -238,6 +373,19 @@ fn cmd_run(args: Vec<String>) -> i32 {
     );
     let result = match run_benchmark(app, cfg.clone(), &graph, threads) {
         Ok(result) => result,
+        Err(SimError::Ward(report)) => {
+            // a tripped ward is a structured diagnostic, not a crash:
+            // print the report (with its per-tile backlogs) and use a
+            // distinct exit code so scripts can branch on it
+            eprintln!("{report}");
+            if let Some(partial) = &report.partial {
+                eprintln!(
+                    "partial result: {} cycles simulated, {} tasks executed",
+                    partial.runtime_cycles, partial.counters.pu.tasks_executed
+                );
+            }
+            return 3;
+        }
         Err(e) => {
             eprintln!("error: simulation failed: {e}");
             return 1;
@@ -275,6 +423,17 @@ fn cmd_run(args: Vec<String>) -> i32 {
             ph.worklist as f64 / 1e9,
             ph.worklist_share() * 100.0,
         );
+        let lat = &result.noc_latency;
+        println!(
+            "telemetry: noc latency mean {:.1} | p50 {} | p95 {} | p99 {} | \
+             max {} cycles over {} packets",
+            lat.mean(),
+            lat.percentile(0.50),
+            lat.percentile(0.95),
+            lat.percentile(0.99),
+            lat.max_cycles,
+            lat.count,
+        );
     }
     let report = Report::from_counters(&cfg, &result.counters);
     emit(&format!("{}\n", report.to_json()));
@@ -295,6 +454,12 @@ fn cmd_run(args: Vec<String>) -> i32 {
         println!(
             "NoC trace written to {path} (replay with `muchisim traffic replay --trace {path}`)"
         );
+    }
+    if let Some(path) = &metrics_path {
+        println!("metrics stream written to {path}");
+    }
+    if let Some(path) = &metrics_csv {
+        println!("metrics CSV written to {path}");
     }
     i32::from(failed)
 }
@@ -320,11 +485,19 @@ fn cmd_sweep(args: Vec<String>) -> i32 {
     let mut store_path: Option<String> = None;
     let mut host_threads: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut sample_every: Option<u64> = None;
     let mut csv = false;
     let mut args = args.into_iter().peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => seed = Some(parse_flag_value(&mut args, "--seed", "seed")),
+            "--sample-every" => {
+                sample_every = Some(parse_flag_value(
+                    &mut args,
+                    "--sample-every",
+                    "sample cadence",
+                ))
+            }
             "--spec" => {
                 spec_path = Some(
                     args.next()
@@ -400,11 +573,18 @@ fn cmd_sweep(args: Vec<String>) -> i32 {
             return 1;
         }
     };
-    let outcome = match BatchRunner::new(host_threads).run_points(
-        &points,
-        spec.threads_per_run,
-        &mut store,
-    ) {
+    let mut runner = BatchRunner::new(host_threads);
+    if let Some(every) = sample_every {
+        if every == 0 {
+            usage_error("--sample-every must be >= 1");
+        }
+        runner = runner.with_sample_every(every);
+        println!(
+            "live metrics: one stream per point under {store_path}.metrics/ \
+             (every {every} cycles)"
+        );
+    }
+    let outcome = match runner.run_points(&points, spec.threads_per_run, &mut store) {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: {e}");
@@ -417,6 +597,12 @@ fn cmd_sweep(args: Vec<String>) -> i32 {
         outcome.skipped,
         store.path().display()
     );
+    if outcome.ward_trips > 0 {
+        println!(
+            "{} point(s) were terminated by a telemetry ward (see the `term` column)",
+            outcome.ward_trips
+        );
+    }
     if outcome.check_failures > 0 {
         eprintln!(
             "warning: {} run(s) failed their result check",

@@ -5,20 +5,23 @@
 //! parsed directly from the `proc_macro` token stream (no `syn`/`quote`
 //! in an offline build), which is sufficient for the shapes this
 //! workspace derives on: non-generic structs (named, tuple, unit) and
-//! enums (unit, newtype, tuple, struct variants), with no `#[serde]`
-//! field attributes.
+//! enums (unit, newtype, tuple, struct variants). The only `#[serde]`
+//! attribute understood is `#[serde(default)]` — on a named field or on
+//! a whole struct — which makes deserialization fill missing keys with
+//! `Default::default()` instead of erroring, so configs written before a
+//! field existed keep loading.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derives `serde::Serialize` (shim) for a non-generic struct or enum.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item).parse().expect("generated impl parses")
 }
 
 /// Derives `serde::Deserialize` (shim) for a non-generic struct or enum.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -41,8 +44,15 @@ enum ItemKind {
     /// struct S(T0, T1, ...);  (field count)
     TupleStruct(usize),
     /// struct S { f0: T0, ... }
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     Enum(Vec<Variant>),
+}
+
+/// A named field plus whether `#[serde(default)]` applies to it (from its
+/// own attribute or a container-level one).
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -53,7 +63,7 @@ struct Variant {
 enum VariantFields {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 // ---------------------------------------------------------------------------
@@ -63,7 +73,7 @@ enum VariantFields {
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
-    skip_attrs_and_vis(&tokens, &mut i);
+    let container_default = skip_attrs_and_vis(&tokens, &mut i);
 
     let kind_kw = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
@@ -83,7 +93,7 @@ fn parse_item(input: TokenStream) -> Item {
         "struct" => match tokens.get(i) {
             None | Some(TokenTree::Punct(_)) => ItemKind::UnitStruct,
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+                ItemKind::NamedStruct(parse_named_fields(g.stream(), container_default))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 ItemKind::TupleStruct(count_tuple_fields(g.stream()))
@@ -102,13 +112,16 @@ fn parse_item(input: TokenStream) -> Item {
 }
 
 /// Advances past outer attributes (`#[...]`) and a visibility qualifier
-/// (`pub`, `pub(crate)`, ...).
-fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+/// (`pub`, `pub(crate)`, ...), reporting whether a `#[serde(default)]`
+/// attribute was among them.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut serde_default = false;
     loop {
         match tokens.get(*i) {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 *i += 1; // the `[...]` group
-                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    serde_default |= is_serde_default(g.stream());
                     *i += 1;
                 }
             }
@@ -119,24 +132,43 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
                     *i += 1; // `(crate)` / `(super)` / `(in ...)`
                 }
             }
-            _ => return,
+            _ => return serde_default,
         }
     }
 }
 
-/// Parses `f0: T0, f1: T1, ...`, returning the field names. Types are
-/// skipped with angle-bracket depth tracking so commas inside generics
-/// don't split fields.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True when the attribute body (the tokens inside `#[...]`) is
+/// `serde(default)`.
+fn is_serde_default(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            matches!(inner.first(),
+                Some(TokenTree::Ident(id)) if id.to_string() == "default")
+        }
+        _ => false,
+    }
+}
+
+/// Parses `f0: T0, f1: T1, ...`, returning the field names plus their
+/// `#[serde(default)]` markers. Types are skipped with angle-bracket
+/// depth tracking so commas inside generics don't split fields.
+fn parse_named_fields(stream: TokenStream, container_default: bool) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let field_default = skip_attrs_and_vis(&tokens, &mut i);
         let Some(TokenTree::Ident(id)) = tokens.get(i) else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default: container_default || field_default,
+        });
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -206,7 +238,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
                 VariantFields::Tuple(n)
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                let names = parse_named_fields(g.stream());
+                let names = parse_named_fields(g.stream(), false);
                 i += 1;
                 VariantFields::Named(names)
             }
@@ -256,9 +288,10 @@ fn gen_serialize(item: &Item) -> String {
 
 /// Builds an object value from `prefix`-qualified field accesses
 /// (`self.f` for structs, bare bindings for enum struct variants).
-fn ser_named_body(fields: &[String], prefix: &str) -> String {
+fn ser_named_body(fields: &[Field], prefix: &str) -> String {
     let mut s = String::from("{ let mut m = ::serde::value::Map::new(); ");
     for f in fields {
+        let f = &f.name;
         s.push_str(&format!(
             "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})); "
         ));
@@ -293,12 +326,13 @@ fn ser_variant_arm(v: &Variant) -> String {
         }
         VariantFields::Named(fields) => {
             let inner = ser_named_body(fields, "");
+            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
             format!(
                 "Self::{vname} {{ {} }} => {{ let payload = {inner}; \
                  let mut m = ::serde::value::Map::new(); \
                  m.insert(\"{vname}\".to_string(), payload); \
                  ::serde::value::Value::Object(m) }},",
-                fields.join(", ")
+                binds.join(", ")
             )
         }
     }
@@ -338,16 +372,25 @@ fn gen_deserialize(item: &Item) -> String {
 }
 
 /// `Ok(Ctor { f: ..., ... })` from the object in expression `src`.
-fn de_named_body(ty: &str, ctor: &str, fields: &[String], src: &str) -> String {
+fn de_named_body(ty: &str, ctor: &str, fields: &[Field], src: &str) -> String {
     let mut s = format!(
         "{{ let obj = {src}.as_object()\
            .ok_or_else(|| ::serde::de::DeError::expected(\"object\", {src}))?; Ok({ctor} {{ "
     );
     for f in fields {
+        let missing = if f.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(::serde::de::DeError::missing_field(\"{ty}\", \"{0}\"))",
+                f.name
+            )
+        };
+        let f = &f.name;
         s.push_str(&format!(
             "{f}: match obj.get(\"{f}\") {{ \
                Some(v) => ::serde::Deserialize::from_value(v)?, \
-               None => return Err(::serde::de::DeError::missing_field(\"{ty}\", \"{f}\")), \
+               None => {missing}, \
              }}, "
         ));
     }
